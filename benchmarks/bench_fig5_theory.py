@@ -1,0 +1,51 @@
+"""Fig. 5: stall reduction vs clustering factor (Equ. (2)).
+
+Regenerates the four curves (coverage ratios 1, 0.5, 0.1, 0.01) and
+validates the analytical model against the cycle-level simulator on the
+running example with a fixed runtime latency.
+"""
+
+import pytest
+
+from repro.core.theory import fig5_series, stall_reduction_percent
+
+
+def _format_series() -> str:
+    series = fig5_series(max_k=8)
+    lines = ["k " + "".join(f"{c:>10}" for c in series)]
+    for k in range(1, 9):
+        row = f"{k} "
+        for c in series:
+            row += f"{dict(series[c])[k]:>9.1f}%"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def test_fig5_series(benchmark, record):
+    series = benchmark(fig5_series)
+    record("fig5_stall_reduction", _format_series())
+    # anchor points from the paper's discussion
+    assert dict(series[0.01])[3] == pytest.approx(67.0, abs=0.5)
+    assert all(v == 100.0 for _, v in series[1.0])
+    # clustering compensates even for very low coverage ratios
+    assert dict(series[0.1])[8] > 85.0
+
+
+def test_fig5_simulator_validation(benchmark, record, machine):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """The simulator's measured stall reduction tracks Equ. (2)."""
+    from tests.test_sim_core import _run
+
+    latency = 14
+    L = latency - 1
+    base_result, base = _run(machine, 0, latency, n=500)
+    k0 = base_result.stats.placements[0].use_distance // base_result.ii + 1
+    rows = ["d  k_eff  predicted  measured"]
+    for d in (2, 4, 6, 9):
+        result, counters = _run(machine, d, latency, n=500)
+        k = result.stats.placements[0].use_distance // result.ii + 1
+        measured = 100.0 * (1 - counters.be_exe_bubble / base.be_exe_bubble)
+        predicted = 100.0 * (1 - ((L - d) / k) / (L / k0))
+        rows.append(f"{d}  {k:5d}  {predicted:8.1f}%  {measured:7.1f}%")
+        assert measured == pytest.approx(predicted, abs=3.0)
+    record("fig5_simulator_validation", "\n".join(rows))

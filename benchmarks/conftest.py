@@ -1,0 +1,83 @@
+"""Shared fixtures for the benchmark harness.
+
+Experiment objects are session-scoped so runs are computed once and shared
+between figures (Fig. 8's HLO run is also Fig. 10's variant, etc.).  Every
+bench prints the same rows/series the paper reports and appends them to
+``results/`` next to this directory, which is where EXPERIMENTS.md numbers
+come from.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.config import CompilerConfig, HintPolicy, baseline_config
+from repro.core import Experiment
+from repro.machine import ItaniumMachine
+from repro.workloads import cpu2000_suite, cpu2006_suite
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def machine() -> ItaniumMachine:
+    return ItaniumMachine()
+
+
+@pytest.fixture(scope="session")
+def exp2006() -> Experiment:
+    return Experiment(cpu2006_suite(), seed=2008)
+
+
+@pytest.fixture(scope="session")
+def exp2000() -> Experiment:
+    return Experiment(cpu2000_suite(), seed=2008)
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Print a result block and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        banner = f"\n===== {name} =====\n{text}\n"
+        print(banner)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+# --- the paper's configurations -------------------------------------------
+
+def base_cfg(pgo: bool = True, prefetch: bool = True) -> CompilerConfig:
+    return baseline_config(pgo=pgo, prefetch=prefetch)
+
+
+def l3_cfg(n: int, pgo: bool = True, prefetch: bool = True) -> CompilerConfig:
+    return CompilerConfig(
+        hint_policy=HintPolicy.ALL_LOADS_L3,
+        trip_count_threshold=n,
+        pgo=pgo,
+        prefetch=prefetch,
+        name=f"all-l3-n{n}{'' if pgo else '-nopgo'}{'' if prefetch else '-nopf'}",
+    )
+
+
+def fp_l2_cfg(pgo: bool = True) -> CompilerConfig:
+    return CompilerConfig(
+        hint_policy=HintPolicy.ALL_FP_L2,
+        trip_count_threshold=32,
+        pgo=pgo,
+        name=f"fp-l2{'' if pgo else '-nopgo'}",
+    )
+
+
+def hlo_cfg(pgo: bool = True) -> CompilerConfig:
+    return CompilerConfig(
+        hint_policy=HintPolicy.HLO,
+        trip_count_threshold=32,
+        pgo=pgo,
+        name=f"hlo{'' if pgo else '-nopgo'}",
+    )

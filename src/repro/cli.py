@@ -1,0 +1,233 @@
+"""Command-line interface.
+
+Four subcommands::
+
+    python -m repro compile loop.s --policy hlo        # kernel + stats
+    python -m repro simulate loop.s --trips 2000 --invocations 3 \\
+        --space a=64M --space b=64M                    # cycles + counters
+    python -m repro experiment --suite cpu2006 --variant hlo -n 32
+    python -m repro fig5                               # the theory curves
+
+The loop file format is the textual dialect of
+:func:`repro.ir.parser.parse_loop` (see examples in tests/ and README).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import CompilerConfig, HintPolicy, baseline_config
+from repro.errors import ReproError
+
+_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+
+
+def parse_size(text: str) -> int:
+    """``64M`` -> 67108864; plain integers pass through."""
+    text = text.strip().lower()
+    for suffix, factor in _SUFFIXES.items():
+        if text.endswith(suffix):
+            return int(float(text[:-1]) * factor)
+    return int(text)
+
+
+def parse_space(text: str):
+    """``name=64M[:stream]`` -> (name, StreamSpec).
+
+    ``:stream`` marks a streaming (cold) space; the default is a reused
+    (resident, pre-warmed) one.
+    """
+    from repro.sim.address import StreamSpec
+
+    name, _, rest = text.partition("=")
+    if not rest:
+        raise argparse.ArgumentTypeError(
+            f"expected name=SIZE[:stream], got {text!r}"
+        )
+    size_text, _, flag = rest.partition(":")
+    reuse = flag != "stream"
+    return name, StreamSpec(size=parse_size(size_text), reuse=reuse)
+
+
+def make_config(args: argparse.Namespace) -> CompilerConfig:
+    policy = HintPolicy(args.policy)
+    if policy is HintPolicy.BASELINE:
+        cfg = baseline_config(pgo=not args.no_pgo, prefetch=not args.no_prefetch)
+        return cfg.with_(trip_count_threshold=args.threshold)
+    return CompilerConfig(
+        hint_policy=policy,
+        trip_count_threshold=args.threshold,
+        pgo=not args.no_pgo,
+        prefetch=not args.no_prefetch,
+    )
+
+
+def _add_config_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--policy",
+        choices=[p.value for p in HintPolicy],
+        default="hlo",
+        help="hint policy (default: hlo)",
+    )
+    parser.add_argument("-n", "--threshold", type=int, default=32,
+                        help="trip-count threshold (default: 32)")
+    parser.add_argument("--no-pgo", action="store_true",
+                        help="use the static profile heuristic")
+    parser.add_argument("--no-prefetch", action="store_true",
+                        help="disable software prefetching")
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    from repro.core.compiler import LoopCompiler
+    from repro.ir import parse_loop
+    from repro.machine import ItaniumMachine
+
+    text = open(args.loop_file).read()
+    loop = parse_loop(text)
+    compiled = LoopCompiler(ItaniumMachine(), make_config(args)).compile(loop)
+    stats = compiled.stats
+    print(stats.summary())
+    if compiled.result.kernel is not None:
+        print()
+        print(compiled.result.kernel.format())
+    if args.verbose and compiled.result.schedule is not None:
+        print()
+        print(compiled.result.schedule.format())
+        print()
+        for p in stats.placements:
+            print(
+                f"load {p.load.memref.name}: distance={p.use_distance} "
+                f"d={p.additional_latency} "
+                f"k={p.clustering_factor(stats.ii)} boosted={p.boosted}"
+            )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core.compiler import LoopCompiler
+    from repro.ir import parse_loop
+    from repro.machine import ItaniumMachine
+    from repro.sim import MemorySystem, simulate_loop
+
+    machine = ItaniumMachine()
+    loop = parse_loop(open(args.loop_file).read())
+    layout = dict(args.space or [])
+    missing = {
+        i.memref.space for i in loop.body if i.memref is not None
+    } - set(layout)
+    if missing:
+        print(f"error: no --space given for {sorted(missing)}",
+              file=sys.stderr)
+        return 2
+    compiled = LoopCompiler(machine, make_config(args)).compile(loop)
+    print(compiled.stats.summary())
+    run = simulate_loop(
+        compiled.result,
+        machine,
+        layout,
+        [args.trips] * args.invocations,
+        memory=MemorySystem(machine.timings),
+    )
+    c = run.counters
+    print(f"cycles: {run.cycles:,.0f} "
+          f"({run.cycles_per_iteration:.2f}/iteration)")
+    print(c.summary())
+    if c.loads_by_level:
+        levels = {1: "L1D", 2: "L2", 3: "L3", 4: "mem"}
+        parts = [f"{levels[k]}={v}" for k, v in sorted(c.loads_by_level.items())]
+        print("loads by level:", " ".join(parts))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.core import Experiment, format_gain_table
+    from repro.workloads import cpu2000_suite, cpu2006_suite
+
+    suite = cpu2006_suite() if args.suite == "cpu2006" else cpu2000_suite()
+    if args.benchmark:
+        suite = [b for b in suite if b.name in args.benchmark]
+        if not suite:
+            print("error: no matching benchmarks", file=sys.stderr)
+            return 2
+    exp = Experiment(suite, seed=args.seed)
+    base = baseline_config(pgo=not args.no_pgo, prefetch=not args.no_prefetch)
+    variant = make_config(args)
+    result = exp.compare(base, variant)
+    print(format_gain_table(
+        {variant.label: result},
+        title=f"{args.suite} — {variant.label} vs {base.label}",
+    ))
+    return 0
+
+
+def cmd_fig5(args: argparse.Namespace) -> int:
+    from repro.core.theory import fig5_series
+
+    series = fig5_series(max_k=args.max_k)
+    header = "k " + "".join(f"{c:>10}" for c in series)
+    print(header)
+    for k in range(1, args.max_k + 1):
+        row = f"{k} "
+        for c in series:
+            row += f"{dict(series[c])[k]:>9.1f}%"
+        print(row)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Latency-tolerant software pipelining (CGO 2008) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile a loop file")
+    p_compile.add_argument("loop_file")
+    p_compile.add_argument("-v", "--verbose", action="store_true")
+    _add_config_args(p_compile)
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_sim = sub.add_parser("simulate", help="compile and simulate a loop")
+    p_sim.add_argument("loop_file")
+    p_sim.add_argument("--trips", type=int, default=1000,
+                       help="iterations per invocation")
+    p_sim.add_argument("--invocations", type=int, default=1)
+    p_sim.add_argument(
+        "--space", type=parse_space, action="append", metavar="NAME=SIZE",
+        help="working-set size per memory space, e.g. a=64M or a=8K:stream",
+    )
+    _add_config_args(p_sim)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_exp = sub.add_parser("experiment", help="run a suite comparison")
+    p_exp.add_argument("--suite", choices=["cpu2006", "cpu2000"],
+                       default="cpu2006")
+    p_exp.add_argument("--benchmark", action="append",
+                       help="restrict to specific benchmarks")
+    p_exp.add_argument("--seed", type=int, default=2008)
+    _add_config_args(p_exp)
+    p_exp.set_defaults(func=cmd_experiment)
+
+    p_fig5 = sub.add_parser("fig5", help="print the Fig. 5 theory curves")
+    p_fig5.add_argument("--max-k", type=int, default=8)
+    p_fig5.set_defaults(func=cmd_fig5)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

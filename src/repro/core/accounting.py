@@ -1,0 +1,63 @@
+"""Cycle accounting aggregation (Fig. 10).
+
+Aggregates the simulator's per-benchmark counters across a whole suite
+into the six microarchitectural buckets Caliper reports, so the benches
+can print the baseline-vs-variant stacked columns of Fig. 10 and the
+OzQ-full percentage discussed in Sec. 4.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.experiment import BenchmarkResult
+from repro.sim.counters import PerfCounters
+
+BUCKETS = (
+    "unstalled",
+    "be_exe_bubble",
+    "be_l1d_fpu_bubble",
+    "be_rse_bubble",
+    "be_flush_bubble",
+    "back_end_bubble_fe",
+)
+
+
+@dataclass
+class CycleAccount:
+    """Suite-wide cycle accounting for one configuration."""
+
+    label: str
+    counters: PerfCounters
+
+    @property
+    def total(self) -> float:
+        return self.counters.total_cycles
+
+    def share(self, bucket: str) -> float:
+        """Fraction of all cycles spent in ``bucket``."""
+        if bucket not in BUCKETS:
+            raise KeyError(f"unknown bucket {bucket!r}")
+        return getattr(self.counters, bucket) / max(self.total, 1e-9)
+
+    def ozq_full_percent(self) -> float:
+        """Percent of cycles with a full OzQ (the L2D_OZQ_FULL counter)."""
+        return 100.0 * self.counters.ozq_full_cycles / max(self.total, 1e-9)
+
+    def delta_percent(self, other: "CycleAccount", bucket: str) -> float:
+        """Percent change of a bucket's cycles vs another account."""
+        mine = getattr(self.counters, bucket)
+        theirs = getattr(other.counters, bucket)
+        if theirs == 0:
+            return 0.0
+        return 100.0 * (mine / theirs - 1.0)
+
+
+def accumulate_account(
+    results: dict[str, BenchmarkResult], label: str
+) -> CycleAccount:
+    """Sum counters across a suite run into one account."""
+    total = PerfCounters()
+    for result in results.values():
+        total.merge(result.counters)
+    return CycleAccount(label=label, counters=total)

@@ -1,0 +1,79 @@
+"""Pipeline diagrams: the conceptual views of Figs. 2 and 4.
+
+Renders a schedule as the paper draws it — columns are source iterations,
+rows are cycles, each cell names the instruction issued for that source
+iteration in that cycle::
+
+    Cycle |  1    2    3    4    5
+    ------+------------------------
+        0 | ld4
+        1 | add  ld4
+        2 | st4  add  ld4
+        3 |      st4  add  ld4
+        ...
+
+With latency-tolerant scheduling the "latency buffer stages" appear as
+the gap between the load column entry and its use (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from repro.pipeliner.schedule import Schedule
+
+
+def pipeline_diagram(
+    schedule: Schedule,
+    iterations: int = 5,
+    max_cycles: int | None = None,
+) -> str:
+    """Render the first ``iterations`` source iterations as in Fig. 2."""
+    ii = schedule.ii
+    ops = sorted(schedule.loop.body, key=lambda i: schedule.time_of(i))
+    makespan = schedule.makespan
+    total_cycles = (iterations - 1) * ii + makespan
+    if max_cycles is not None:
+        total_cycles = min(total_cycles, max_cycles)
+
+    # cell width fits the longest mnemonic
+    width = max(len(op.mnemonic) for op in ops) + 2
+
+    def cell(text: str = "") -> str:
+        return f"{text:<{width}}"
+
+    header = "Cycle |" + "".join(
+        cell(str(i + 1)) for i in range(iterations)
+    )
+    lines = [header, "------+" + "-" * (width * iterations)]
+
+    grid: dict[tuple[int, int], list[str]] = {}
+    for i in range(iterations):
+        for op in ops:
+            cycle = i * ii + schedule.time_of(op)
+            if cycle < total_cycles:
+                grid.setdefault((cycle, i), []).append(op.mnemonic)
+
+    for cycle in range(total_cycles):
+        row = f"{cycle:5d} |"
+        for i in range(iterations):
+            names = grid.get((cycle, i))
+            row += cell("/".join(names) if names else "")
+        lines.append(row.rstrip())
+    return "\n".join(lines)
+
+
+def stage_table(schedule: Schedule) -> str:
+    """A per-stage summary: which operations live in which stage."""
+    from repro.ir.printer import format_instruction
+
+    by_stage: dict[int, list] = {}
+    for inst in schedule.loop.body:
+        by_stage.setdefault(schedule.stage_of(inst), []).append(inst)
+    lines = [f"{schedule.stage_count} stages at II={schedule.ii}:"]
+    for stage in range(schedule.stage_count):
+        members = by_stage.get(stage, [])
+        if members:
+            for inst in members:
+                lines.append(f"  stage {stage}: {format_instruction(inst)}")
+        else:
+            lines.append(f"  stage {stage}: (latency buffer)")
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""The cost/benefit theory of Sec. 2.1 (Equations (1)-(3) and Fig. 5).
+
+With a runtime load latency of ``L+1`` cycles, ``L`` is the part of the
+latency exposable as a stall.  An additional scheduled latency ``d``
+covers ``d`` of those cycles:
+
+* Equ. (1): coverage ratio ``c = d / L``;
+* clustering of ``k`` load instances turns a stall of ``L - d`` every
+  iteration into one every ``k`` iterations, so the total stall reduction
+  (Equ. (2)) is ``100 * (1 - (1 - c)/k)`` percent;
+* Equ. (3): guaranteeing a clustering factor ``k`` requires an additional
+  latency of at least ``d = (k - 1) * II``.
+"""
+
+from __future__ import annotations
+
+
+def coverage_ratio(d: int, exposable_latency: int) -> float:
+    """Equ. (1): the fraction of the exposable latency the schedule hides."""
+    if exposable_latency <= 0:
+        return 1.0
+    return min(1.0, max(0.0, d / exposable_latency))
+
+
+def stall_reduction_percent(c: float, k: int) -> float:
+    """Equ. (2): percent stall reduction from coverage ``c``, clustering ``k``."""
+    if k < 1:
+        raise ValueError(f"clustering factor must be >= 1, got {k}")
+    c = min(1.0, max(0.0, c))
+    return 100.0 * (1.0 - (1.0 - c) / k)
+
+
+def clustering_factor(d: int, ii: int) -> int:
+    """Equ. (3) inverted: instances in flight given additional latency ``d``."""
+    if ii < 1:
+        raise ValueError(f"II must be >= 1, got {ii}")
+    return max(0, d) // ii + 1
+
+
+def additional_latency_for_clustering(k: int, ii: int) -> int:
+    """Equ. (3): minimum additional latency for a clustering factor ``k``."""
+    if k < 1 or ii < 1:
+        raise ValueError("k and II must be >= 1")
+    return (k - 1) * ii
+
+
+def expected_stall_cycles(
+    n: int, exposable_latency: int, d: int, ii: int
+) -> float:
+    """Total stall cycles over ``n`` iterations per the Sec. 2.1 model:
+    a stall of ``L - d`` every ``k`` kernel iterations."""
+    k = clustering_factor(d, ii)
+    residual = max(0, exposable_latency - d)
+    return n * residual / k
+
+
+def fig5_series(
+    coverages: tuple[float, ...] = (1.0, 0.5, 0.1, 0.01),
+    max_k: int = 8,
+) -> dict[float, list[tuple[int, float]]]:
+    """The four curves of Fig. 5: stall reduction vs clustering factor."""
+    return {
+        c: [(k, stall_reduction_percent(c, k)) for k in range(1, max_k + 1)]
+        for c in coverages
+    }

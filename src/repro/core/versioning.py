@@ -1,0 +1,156 @@
+"""Trip-count versioning (Sec. 6 outlook).
+
+"... and/or trip-count versioning": emit *two* versions of a pipelined
+loop — the latency-tolerant one and a conventional one — and select at
+run time based on the actual trip count of the invocation.  The deep
+pipeline only runs when there are enough iterations to amortise its
+fill/drain cost, which removes exactly the failure mode behind the
+177.mesa regression (training said 154 iterations, reference inputs ran
+8) without giving up the gains on long invocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.config import CompilerConfig
+from repro.core.compiler import CompiledLoop, LoopCompiler
+from repro.hlo.profiles import BlockProfile
+from repro.ir.loop import Loop
+from repro.machine.itanium2 import ItaniumMachine
+from repro.sim.address import AddressMap, StreamSpec, build_streams
+from repro.sim.core import prepare_execution, run_iterations
+from repro.sim.counters import PerfCounters
+from repro.sim.executor import (
+    FLUSH_CYCLES,
+    FRONTEND_CYCLES,
+    LoopRunResult,
+    RSE_CYCLES_PER_REG,
+    _prewarm_resident_regions,
+)
+from repro.sim.memory import MemorySystem
+
+#: cycles of the runtime trip-count test + branch selecting the version
+VERSION_CHECK_CYCLES = 2.0
+
+
+@dataclass
+class VersionedLoop:
+    """Two compiled versions of one loop plus the selection threshold."""
+
+    boosted: CompiledLoop
+    fallback: CompiledLoop
+    #: invocations with at least this many iterations run the boosted body
+    threshold: int
+
+    def pick(self, trips: int) -> CompiledLoop:
+        return self.boosted if trips >= self.threshold else self.fallback
+
+
+def compile_versions(
+    loop_factory: Callable[[], tuple[Loop, dict[str, StreamSpec]]],
+    machine: ItaniumMachine,
+    config: CompilerConfig,
+    threshold: int | None = None,
+    profile: BlockProfile | None = None,
+) -> tuple[VersionedLoop, dict[str, StreamSpec]]:
+    """Compile the boosted and conventional versions of one loop.
+
+    The fallback version uses the same configuration with latency
+    tolerance switched off, so prefetching and every other decision stay
+    comparable.  The default threshold matches the boosted version's
+    break-even point: its extra kernel iterations must cost no more than
+    a modest fraction of the useful work.
+    """
+    loop_a, layout = loop_factory()
+    boosted = LoopCompiler(machine, config).compile(loop_a, profile)
+    loop_b, _ = loop_factory()
+    fallback = LoopCompiler(
+        machine,
+        config.with_(latency_tolerant=False, name=f"{config.label}+fallback"),
+    ).compile(loop_b, profile)
+
+    if threshold is None:
+        extra = max(
+            0,
+            boosted.stats.stage_count - fallback.stats.stage_count,
+        )
+        # amortise the extra fill/drain iterations over >= 4x useful work
+        threshold = max(1, 4 * extra)
+    return VersionedLoop(boosted=boosted, fallback=fallback,
+                         threshold=threshold), layout
+
+
+def simulate_versioned(
+    versioned: VersionedLoop,
+    machine: ItaniumMachine,
+    layout: dict[str, StreamSpec],
+    trip_counts: list[int] | np.ndarray,
+    memory: MemorySystem | None = None,
+    seed: int = 11,
+) -> LoopRunResult:
+    """Execute a versioned loop, switching per invocation at run time.
+
+    Both versions share the cache and TLB state, exactly as the two
+    kernels of one function would.  Every invocation pays a small
+    version-check cost on top of the usual loop overheads.
+    """
+    memory = memory or MemorySystem(machine.timings)
+    counters = PerfCounters()
+    trips = [int(t) for t in trip_counts]
+    total_iters = sum(trips)
+    stream_len = max(total_iters, max(trips) if trips else 0)
+
+    versions = {}
+    for name, compiled in (("boosted", versioned.boosted),
+                           ("fallback", versioned.fallback)):
+        result = compiled.result
+        setup = prepare_execution(result, machine)
+        streams = build_streams(
+            result.loop, layout, stream_len, seed=seed,
+            address_map=AddressMap(),
+        )
+        versions[name] = (compiled, setup, streams)
+
+    _prewarm_resident_regions(
+        versioned.boosted.result, layout, versions["boosted"][2], memory
+    )
+
+    reuse_spaces = {s for s, spec in layout.items() if spec.reuse}
+    cycle = 0.0
+    running_base = 0
+    for n in trips:
+        name = "boosted" if n >= versioned.threshold else "fallback"
+        compiled, setup, streams = versions[name]
+        static = compiled.result.static
+        stacked = static.stacked_frame if static is not None else 8
+
+        counters.be_rse_bubble += stacked * RSE_CYCLES_PER_REG
+        counters.be_flush_bubble += FLUSH_CYCLES
+        counters.back_end_bubble_fe += FRONTEND_CYCLES
+        counters.unstalled += VERSION_CHECK_CYCLES
+        cycle += (
+            stacked * RSE_CYCLES_PER_REG
+            + FLUSH_CYCLES
+            + FRONTEND_CYCLES
+            + VERSION_CHECK_CYCLES
+        )
+
+        base = 0 if reuse_spaces else running_base
+        cycle = run_iterations(
+            setup, streams, base, n, memory, machine.ozq_capacity,
+            counters, cycle,
+        )
+        running_base += n
+        counters.invocations += 1
+
+    return LoopRunResult(
+        loop_name=versioned.boosted.loop.name,
+        cycles=cycle,
+        counters=counters,
+        invocations=len(trips),
+        total_iterations=total_iters,
+    )

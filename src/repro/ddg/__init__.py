@@ -1,0 +1,46 @@
+"""Cyclic data-dependence graph (DDG) for loop bodies.
+
+The DDG is the structure the pipeliner schedules against: nodes are the
+loop-body instructions, edges carry a dependence kind and an iteration
+distance ``omega`` (a *loop-carried* dependence has ``omega >= 1``).  A
+*recurrence cycle* is a dependence cycle whose total distance is >= 1
+(footnote 1 of the paper); the largest ``ceil(latency/distance)`` over all
+recurrence cycles is the Recurrence II (Sec. 1.1).
+
+Edge latencies are not stored in the graph.  They are resolved through a
+latency query so the pipeliner can ask for base or hint-derived *expected*
+load latencies (Sec. 3.3), which is the heart of the paper's technique.
+"""
+
+from repro.ddg.edges import DepEdge, DepKind
+from repro.ddg.graph import DDG, build_ddg
+from repro.ddg.cycles import (
+    RecurrenceCycle,
+    enumerate_recurrence_cycles,
+    recurrence_ii,
+    recurrence_ii_search,
+)
+from repro.ddg.dependence import (
+    DependenceResult,
+    DependenceVerdict,
+    test_dependence,
+)
+from repro.ddg.mindist import mindist_matrix
+from repro.ddg.slack import acyclic_heights, acyclic_slacks
+
+__all__ = [
+    "DepEdge",
+    "DepKind",
+    "DDG",
+    "build_ddg",
+    "RecurrenceCycle",
+    "enumerate_recurrence_cycles",
+    "recurrence_ii",
+    "recurrence_ii_search",
+    "DependenceResult",
+    "DependenceVerdict",
+    "test_dependence",
+    "mindist_matrix",
+    "acyclic_heights",
+    "acyclic_slacks",
+]

@@ -1,0 +1,176 @@
+"""Recurrence-cycle enumeration and Recurrence II.
+
+Two independent computations of the Recurrence II are provided:
+
+* :func:`recurrence_ii` enumerates all elementary dependence cycles and
+  takes the maximum of ``ceil(latency / distance)`` — this is the form the
+  paper's criticality analysis needs, because it must inspect *each* cycle
+  and ask "would boosting the loads in this cycle push the Recurrence II
+  beyond the Resource II?" (Sec. 3.3);
+* :func:`recurrence_ii_search` binary-searches the smallest II for which
+  the constraint graph with weights ``latency - II * omega`` has no
+  positive cycle (Floyd-Warshall).  The two are cross-checked in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.ddg.edges import DepEdge, LatencyQuery
+from repro.ddg.graph import DDG
+from repro.errors import DependenceError
+from repro.ir.instructions import Instruction
+
+#: Per-edge predicate deciding whether the *expected* (hint-derived) load
+#: latency should be used when measuring a cycle or path.
+ExpectedFn = Callable[[DepEdge], bool]
+
+
+def never_expected(_edge: DepEdge) -> bool:
+    """Use base latencies everywhere."""
+    return False
+
+
+def always_expected(_edge: DepEdge) -> bool:
+    """Use expected latencies for every load-produced value."""
+    return True
+
+
+@dataclass(frozen=True)
+class RecurrenceCycle:
+    """One elementary dependence cycle with total distance >= 1."""
+
+    edges: tuple[DepEdge, ...]
+
+    @property
+    def nodes(self) -> tuple[Instruction, ...]:
+        return tuple(e.src for e in self.edges)
+
+    @property
+    def total_omega(self) -> int:
+        return sum(e.omega for e in self.edges)
+
+    @property
+    def loads(self) -> tuple[Instruction, ...]:
+        """The load instructions participating in this cycle."""
+        return tuple(n for n in self.nodes if n.is_load)
+
+    def length(self, query: LatencyQuery, expected: ExpectedFn = never_expected) -> int:
+        """Total latency of the cycle under the given latency policy."""
+        return sum(e.latency(query, expected(e)) for e in self.edges)
+
+    def ii_bound(
+        self, query: LatencyQuery, expected: ExpectedFn = never_expected
+    ) -> int:
+        """This cycle's lower bound on the II: ``ceil(latency/distance)``."""
+        return math.ceil(self.length(query, expected) / self.total_omega)
+
+    def __repr__(self) -> str:
+        path = "->".join(str(e.src.index) for e in self.edges)
+        return f"RecurrenceCycle({path}-> w={self.total_omega})"
+
+
+def enumerate_recurrence_cycles(
+    ddg: DDG, max_cycles: int = 50_000
+) -> list[RecurrenceCycle]:
+    """All elementary cycles of the DDG.
+
+    Uses a rooted DFS (Johnson-style dedup: a cycle is only discovered from
+    its smallest-index node, and the search never descends below the root).
+    Loop bodies are small, so the simple algorithm is plenty; ``max_cycles``
+    guards against degenerate inputs.
+    """
+    by_src: dict[int, list[DepEdge]] = {}
+    for edge in ddg.edges:
+        by_src.setdefault(edge.src.index, []).append(edge)
+
+    cycles: list[RecurrenceCycle] = []
+    for root in sorted(by_src):
+        path: list[DepEdge] = []
+        on_path: set[int] = set()
+
+        def dfs(node: int) -> None:
+            if len(cycles) >= max_cycles:
+                return
+            for edge in by_src.get(node, []):
+                nxt = edge.dst.index
+                if nxt == root:
+                    cycle = RecurrenceCycle(tuple(path) + (edge,))
+                    if cycle.total_omega == 0:
+                        raise DependenceError(
+                            f"zero-distance dependence cycle: {cycle}"
+                        )
+                    cycles.append(cycle)
+                elif nxt > root and nxt not in on_path:
+                    on_path.add(nxt)
+                    path.append(edge)
+                    dfs(nxt)
+                    path.pop()
+                    on_path.remove(nxt)
+
+        dfs(root)
+        if len(cycles) >= max_cycles:
+            break
+    return cycles
+
+
+def recurrence_ii(
+    ddg: DDG,
+    query: LatencyQuery,
+    expected: ExpectedFn = never_expected,
+    cycles: list[RecurrenceCycle] | None = None,
+) -> int:
+    """Recurrence II by cycle enumeration (0 when the DDG is acyclic)."""
+    if cycles is None:
+        cycles = enumerate_recurrence_cycles(ddg)
+    if not cycles:
+        return 0
+    return max(c.ii_bound(query, expected) for c in cycles)
+
+
+def _has_positive_cycle(
+    ddg: DDG, ii: int, query: LatencyQuery, expected: ExpectedFn
+) -> bool:
+    """Floyd-Warshall positivity check on weights ``lat - ii*omega``."""
+    n = len(ddg.nodes)
+    neg = -(10**9)
+    dist = [[neg] * n for _ in range(n)]
+    for edge in ddg.edges:
+        w = edge.latency(query, expected(edge)) - ii * edge.omega
+        i, j = edge.src.index, edge.dst.index
+        if w > dist[i][j]:
+            dist[i][j] = w
+    for k in range(n):
+        dk = dist[k]
+        for i in range(n):
+            dik = dist[i][k]
+            if dik == neg:
+                continue
+            di = dist[i]
+            for j in range(n):
+                if dk[j] != neg and dik + dk[j] > di[j]:
+                    di[j] = dik + dk[j]
+    return any(dist[i][i] > 0 for i in range(n))
+
+
+def recurrence_ii_search(
+    ddg: DDG,
+    query: LatencyQuery,
+    expected: ExpectedFn = never_expected,
+) -> int:
+    """Recurrence II by binary search over the constraint graph."""
+    if not ddg.edges:
+        return 0
+    hi = sum(e.latency(query, expected(e)) for e in ddg.edges)
+    if not _has_positive_cycle(ddg, 0, query, expected):
+        return 0
+    lo = 0  # infeasible
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if _has_positive_cycle(ddg, mid, query, expected):
+            lo = mid
+        else:
+            hi = mid
+    return hi

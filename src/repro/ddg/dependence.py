@@ -1,0 +1,94 @@
+"""Affine dependence testing for same-space memory references.
+
+For two references ``A`` (offset ``a``, stride ``s``) and ``B`` (offset
+``b``, stride ``s``) into the same space, iteration instances collide when
+``a + s·i == b + s·j`` — a *distance* of ``(a − b)/s`` iterations.  The
+classic tests:
+
+* different strides or non-integral distance → independent (GCD test);
+* distance 0 → the pair touches the same address in the same iteration
+  (ordering within the body suffices);
+* positive distance d → a loop-carried dependence with ``omega = d``.
+
+Overlap through distinct element accesses of the same cache line does not
+constitute a *data* dependence, so line size plays no role here.  The DDG
+builder uses these verdicts for affine pairs and keeps its conservative
+treatment for everything it cannot analyse.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.ir.memref import AccessPattern, MemRef
+
+
+class DependenceVerdict(enum.Enum):
+    """Outcome of a dependence test between two references."""
+
+    INDEPENDENT = "independent"
+    #: same address every iteration pair at the given distance
+    DISTANCE = "distance"
+    #: cannot be analysed: assume the worst
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class DependenceResult:
+    verdict: DependenceVerdict
+    #: iteration distance for DISTANCE verdicts (0 = intra-iteration)
+    distance: int = 0
+
+    @property
+    def independent(self) -> bool:
+        return self.verdict is DependenceVerdict.INDEPENDENT
+
+
+_ANALYSABLE = (AccessPattern.AFFINE,)
+
+
+def test_dependence(a: MemRef, b: MemRef) -> DependenceResult:
+    """Dependence test for two references of the same space.
+
+    Returns the signed distance *from a to b*: a positive distance ``d``
+    means instance ``i`` of ``a`` touches the address instance ``i + d``
+    of ``b`` touches (so a value stored by ``a`` is observed ``d``
+    iterations later by ``b``).
+    """
+    if a.space != b.space:
+        return DependenceResult(DependenceVerdict.INDEPENDENT)
+    if a.pattern not in _ANALYSABLE or b.pattern not in _ANALYSABLE:
+        return DependenceResult(DependenceVerdict.UNKNOWN)
+
+    stride_a = a.stride or 0
+    stride_b = b.stride or 0
+    if stride_a != stride_b:
+        # different strides: instances interleave; without bounds we must
+        # stay conservative unless the strides can never produce overlap
+        return _different_stride_test(a, b)
+    if stride_a == 0:
+        # two invariant-addressed affine refs: same address iff offsets match
+        if a.offset == b.offset:
+            return DependenceResult(DependenceVerdict.DISTANCE, 0)
+        return DependenceResult(DependenceVerdict.INDEPENDENT)
+
+    delta = a.offset - b.offset
+    if delta % stride_a != 0:
+        # the GCD test: offsets differ by a non-multiple of the stride,
+        # the access sequences never meet
+        return DependenceResult(DependenceVerdict.INDEPENDENT)
+    return DependenceResult(DependenceVerdict.DISTANCE, delta // stride_a)
+
+
+def _different_stride_test(a: MemRef, b: MemRef) -> DependenceResult:
+    """GCD test for differing strides: ``a + s_a·i = b + s_b·j`` has
+    integer solutions iff ``gcd(s_a, s_b)`` divides ``b − a``."""
+    import math
+
+    stride_a = a.stride or 0
+    stride_b = b.stride or 0
+    g = math.gcd(abs(stride_a), abs(stride_b))
+    if g and (b.offset - a.offset) % g != 0:
+        return DependenceResult(DependenceVerdict.INDEPENDENT)
+    return DependenceResult(DependenceVerdict.UNKNOWN)

@@ -1,0 +1,49 @@
+"""MinDist matrix: tightest scheduling separation between operation pairs.
+
+``mindist[i][j]`` is the largest total weight ``sum(latency - II*omega)``
+over all dependence paths from instruction ``i`` to instruction ``j``; a
+legal modulo schedule must satisfy ``t(j) - t(i) >= mindist[i][j]`` for
+every reachable pair.  The matrix exists (is free of positive diagonal
+entries) exactly when ``II >= RecurrenceII``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ddg.cycles import ExpectedFn, never_expected
+from repro.ddg.edges import LatencyQuery
+from repro.ddg.graph import DDG
+from repro.errors import DependenceError
+
+#: Sentinel for "no dependence path".
+NO_PATH = float("-inf")
+
+
+def mindist_matrix(
+    ddg: DDG,
+    ii: int,
+    query: LatencyQuery,
+    expected: ExpectedFn = never_expected,
+    check: bool = True,
+) -> np.ndarray:
+    """Floyd-Warshall longest paths on weights ``latency - ii*omega``.
+
+    Raises :class:`DependenceError` when ``check`` is set and the II is
+    below the recurrence bound (positive-weight cycle).
+    """
+    n = len(ddg.nodes)
+    dist = np.full((n, n), NO_PATH)
+    for edge in ddg.edges:
+        w = edge.latency(query, expected(edge)) - ii * edge.omega
+        i, j = edge.src.index, edge.dst.index
+        if w > dist[i, j]:
+            dist[i, j] = w
+    for k in range(n):
+        via = dist[:, k : k + 1] + dist[k : k + 1, :]
+        np.maximum(dist, via, out=dist)
+    if check and n and np.any(np.diagonal(dist) > 0):
+        raise DependenceError(
+            f"II={ii} is below the recurrence bound of loop {ddg.loop.name!r}"
+        )
+    return dist

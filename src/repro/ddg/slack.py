@@ -1,0 +1,96 @@
+"""Heights and slack over the dependence graph.
+
+*Height* is the classic modulo-scheduling priority (Rau): the longest
+dependence path from an operation to the end of the (virtual) schedule,
+computed as a fixpoint over **all** edges with weights ``lat - II*omega``.
+Operations with larger height are more critical and scheduled first.
+
+*Slack* is computed over the acyclic (``omega = 0``) subgraph: the gap
+between an operation's earliest and latest placement within one iteration's
+critical path.  Loads with large slack are exactly the "non-critical" loads
+the paper targets — stretching their latency grows the pipeline's depth
+but not its II (Sec. 1).
+"""
+
+from __future__ import annotations
+
+from repro.ddg.cycles import ExpectedFn, never_expected
+from repro.ddg.edges import LatencyQuery
+from repro.ddg.graph import DDG
+from repro.errors import DependenceError
+from repro.ir.instructions import Instruction
+
+
+def acyclic_heights(
+    ddg: DDG,
+    query: LatencyQuery,
+    expected: ExpectedFn = never_expected,
+) -> dict[Instruction, int]:
+    """Longest path (in latency) from each node to any sink, omega-0 edges."""
+    order = sorted(ddg.nodes, key=lambda i: i.index, reverse=True)
+    height: dict[Instruction, int] = {}
+    for inst in order:
+        h = 0
+        for edge in ddg.succs(inst):
+            if edge.omega:
+                continue
+            lat = edge.latency(query, expected(edge))
+            h = max(h, height[edge.dst] + lat)
+        height[inst] = h
+    return height
+
+
+def modulo_heights(
+    ddg: DDG,
+    ii: int,
+    query: LatencyQuery,
+    expected: ExpectedFn = never_expected,
+) -> dict[Instruction, int]:
+    """Fixpoint height over all edges with weights ``lat - ii*omega``.
+
+    Converges iff ``ii`` is at least the Recurrence II.
+    """
+    height = {inst: 0 for inst in ddg.nodes}
+    for _ in range(len(ddg.nodes) + 1):
+        changed = False
+        for edge in ddg.edges:
+            w = edge.latency(query, expected(edge)) - ii * edge.omega
+            cand = height[edge.dst] + w
+            if cand > height[edge.src]:
+                height[edge.src] = cand
+                changed = True
+        if not changed:
+            return height
+    raise DependenceError(
+        f"height fixpoint diverged: II={ii} below recurrence bound "
+        f"in loop {ddg.loop.name!r}"
+    )
+
+
+def acyclic_slacks(
+    ddg: DDG,
+    query: LatencyQuery,
+    expected: ExpectedFn = never_expected,
+) -> dict[Instruction, int]:
+    """Per-operation slack within the acyclic critical path.
+
+    ``slack(v) = Lstart(v) - Estart(v)`` where Estart/Lstart are the
+    earliest/latest start times over omega-0 edges given the acyclic
+    critical-path length.
+    """
+    # earliest start: longest path from sources
+    estart: dict[Instruction, int] = {}
+    for inst in ddg.nodes:  # body order is a topological order for omega-0
+        e = 0
+        for edge in ddg.preds(inst):
+            if edge.omega:
+                continue
+            lat = edge.latency(query, expected(edge))
+            e = max(e, estart[edge.src] + lat)
+        estart[inst] = e
+
+    height = acyclic_heights(ddg, query, expected)
+    if not ddg.nodes:
+        return {}
+    span = max(estart[i] + height[i] for i in ddg.nodes)
+    return {i: span - height[i] - estart[i] for i in ddg.nodes}

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class IRError(ReproError):
+    """Malformed IR: bad operands, unknown opcodes, invalid loop structure."""
+
+
+class ParseError(IRError):
+    """Raised by the textual loop parser on malformed input."""
+
+    def __init__(self, message: str, line_no: int | None = None) -> None:
+        self.line_no = line_no
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+class DependenceError(ReproError):
+    """Inconsistent dependence information (e.g. negative distance)."""
+
+
+class SchedulingError(ReproError):
+    """The modulo scheduler could not produce a schedule."""
+
+
+class RegisterAllocationError(ReproError):
+    """Rotating or static register allocation failed."""
+
+
+class MachineModelError(ReproError):
+    """Invalid machine-model query (unknown unit class, bad hint, ...)."""
+
+
+class SimulationError(ReproError):
+    """The hardware simulator was driven into an invalid state."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload definition is inconsistent."""
+
+
+class ConfigError(ReproError):
+    """An invalid compiler configuration was supplied."""

@@ -1,0 +1,34 @@
+"""High-Level Optimizer: software prefetching and latency-hint marking.
+
+This package models the HLO components the paper's technique couples with
+(Sec. 3.2): trip-count estimation, cache-line locality grouping, prefetch
+planning (distance computation with its TLB/indirect/symbolic-stride
+reductions and the L2-only OzQ-pressure mode), and the rules that mark
+references with expected-latency hints when prefetch efficiency is below
+optimal.
+"""
+
+from repro.hlo.profiles import (
+    TripDistribution,
+    BlockProfile,
+    collect_block_profile,
+    static_profile_estimate,
+)
+from repro.hlo.tripcount import estimate_trip_count
+from repro.hlo.locality import leading_references
+from repro.hlo.prefetcher import PrefetchDecision, PrefetchPlan, plan_prefetches
+from repro.hlo.hintpass import apply_hints, run_hlo
+
+__all__ = [
+    "TripDistribution",
+    "BlockProfile",
+    "collect_block_profile",
+    "static_profile_estimate",
+    "estimate_trip_count",
+    "leading_references",
+    "PrefetchDecision",
+    "PrefetchPlan",
+    "plan_prefetches",
+    "apply_hints",
+    "run_hlo",
+]

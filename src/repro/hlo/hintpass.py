@@ -1,0 +1,107 @@
+"""Hint application policies and the HLO driver.
+
+:func:`apply_hints` turns hint *candidates* into actual hint tokens on the
+references, following the experiment policies of Sec. 4:
+
+* ``BASELINE``     — no hints at all (the baseline compiler);
+* ``ALL_LOADS_L3`` — the headroom experiment: every load "across the
+  board" at the typical L3 latency (Sec. 4.2);
+* ``ALL_FP_L2``    — the moderate default: all FP loads at L2 (Sec. 4.3);
+* ``HLO``          — prefetcher-directed hints *plus* the FP-L2 default
+  ("we continue to use the L2 hint as a default for FP loads for which no
+  HLO hint is specified", Sec. 4.3);
+* ``HLO_ONLY``     — prefetcher-directed hints alone.
+
+:func:`run_hlo` is the pass pipeline: estimate trip counts, plan and emit
+prefetches, apply the hint policy.
+"""
+
+from __future__ import annotations
+
+from repro.config import CompilerConfig, HintPolicy
+from repro.hlo.prefetcher import (
+    PrefetchPlan,
+    apply_prefetch_plan,
+    plan_prefetches,
+)
+from repro.hlo.profiles import BlockProfile
+from repro.hlo.tripcount import estimate_trip_count
+from repro.ir.loop import Loop
+from repro.ir.memref import LatencyHint, MemRef
+
+
+def _loaded_refs(loop: Loop) -> list[MemRef]:
+    seen: dict[int, MemRef] = {}
+    for inst in loop.body:
+        if inst.is_load and inst.memref is not None:
+            seen.setdefault(inst.memref.uid, inst.memref)
+    return list(seen.values())
+
+
+def apply_hints(
+    loop: Loop, config: CompilerConfig, plan: PrefetchPlan | None = None
+) -> None:
+    """Set latency-hint tokens on the loop's loaded references."""
+    refs = _loaded_refs(loop)
+    policy = config.hint_policy
+    if policy is HintPolicy.SAMPLED:
+        # keep only the miss-sampling annotations already on the loop
+        for ref in refs:
+            if ref.hint_source != "sampled":
+                ref.hint = LatencyHint.NONE
+                ref.hint_source = ""
+        return
+    for ref in refs:
+        ref.hint = LatencyHint.NONE
+        ref.hint_source = ""
+
+    if policy is HintPolicy.BASELINE:
+        return
+    if policy is HintPolicy.ALL_LOADS_L3:
+        for ref in refs:
+            ref.hint = LatencyHint.L3
+            ref.hint_source = "policy"
+        return
+    if policy is HintPolicy.ALL_FP_L2:
+        for ref in refs:
+            if ref.is_fp:
+                ref.hint = LatencyHint.L2
+                ref.hint_source = "policy"
+        return
+
+    # HLO-directed policies
+    candidates = plan.hint_candidates if plan is not None else {}
+    for ref in refs:
+        hint = candidates.get(ref.uid, LatencyHint.NONE)
+        ref.hint = hint
+        ref.hint_source = "hlo" if hint is not LatencyHint.NONE else ""
+    if policy is HintPolicy.HLO:
+        for ref in refs:
+            if ref.is_fp and ref.hint is LatencyHint.NONE:
+                ref.hint = LatencyHint.L2
+                ref.hint_source = "policy"
+
+
+def run_hlo(
+    loop: Loop,
+    machine,
+    config: CompilerConfig,
+    profile: BlockProfile | None = None,
+) -> PrefetchPlan:
+    """The HLO pass pipeline for one loop (mutates the loop in place)."""
+    trip_info = estimate_trip_count(loop, config, profile)
+    loop.trip_count = trip_info
+
+    plan = plan_prefetches(loop, machine, config, trip_info)
+    if config.prefetch:
+        apply_prefetch_plan(loop, plan)
+    else:
+        # record "not prefetched" on every reference
+        for decision in plan.decisions.values():
+            decision.emitted = False
+            decision.distance = 0
+            ref = decision.ref
+            ref.prefetched = False
+            ref.prefetch_distance = 0
+    apply_hints(loop, config, plan)
+    return plan

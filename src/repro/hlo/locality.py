@@ -1,0 +1,46 @@
+"""Cache-line locality grouping.
+
+"When there are multiple data references that access the same cache line
+inside a loop, prefetching is done only for the leading memory reference."
+(Sec. 3.2).  Two references belong to the same line group when they access
+the same space with the same pattern and stride — the model's stand-in for
+"provably within one cache line of each other each iteration".  Hint marks
+later propagate to the whole group: "all such accesses (to the same cache
+line) will get marked for higher-latency scheduling".
+"""
+
+from __future__ import annotations
+
+from repro.ir.loop import Loop
+from repro.ir.memref import MemRef
+
+
+def _group_key(ref: MemRef) -> tuple:
+    return (ref.space, ref.pattern, ref.stride, ref.is_fp)
+
+
+def line_groups(loop: Loop) -> list[list[MemRef]]:
+    """Memory references partitioned into same-cache-line groups."""
+    groups: dict[tuple, list[MemRef]] = {}
+    for inst in loop.body:
+        if inst.memref is None or inst.is_prefetch:
+            continue
+        groups.setdefault(_group_key(inst.memref), []).append(inst.memref)
+    # deduplicate references appearing in several instructions
+    result = []
+    for members in groups.values():
+        seen: dict[int, MemRef] = {}
+        for ref in members:
+            seen.setdefault(ref.uid, ref)
+        result.append(list(seen.values()))
+    return result
+
+
+def leading_references(loop: Loop) -> dict[int, MemRef]:
+    """Map every reference uid to its group's leading reference."""
+    leaders: dict[int, MemRef] = {}
+    for group in line_groups(loop):
+        leader = group[0]
+        for ref in group:
+            leaders[ref.uid] = leader
+    return leaders

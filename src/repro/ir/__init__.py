@@ -1,0 +1,55 @@
+"""Compiler intermediate representation for innermost, pipelinable loops.
+
+The IR models single-block loop bodies in an Itanium-flavoured form: virtual
+general/floating-point/predicate registers, post-incrementing memory
+operations, qualifying predicates, and a special counted-loop branch.  Loops
+enter the pipeliner already if-converted (a single basic block whose control
+flow has been folded into qualifying predicates), which matches the point in
+the Intel compiler where the software pipeliner runs (Sec. 3.3 of the paper).
+"""
+
+from repro.ir.registers import (
+    Reg,
+    RegClass,
+    RegisterFile,
+    ROTATING_GR_BASE,
+    ROTATING_PR_BASE,
+    ROTATING_FR_BASE,
+)
+from repro.ir.memref import (
+    AccessPattern,
+    LatencyHint,
+    MemRef,
+)
+from repro.ir.opcodes import Opcode, UnitClass, OPCODES, opcode
+from repro.ir.instructions import Instruction
+from repro.ir.loop import Loop, TripCountInfo, TripCountSource
+from repro.ir.builder import LoopBuilder
+from repro.ir.parser import parse_loop
+from repro.ir.printer import format_instruction, format_loop
+from repro.ir.validate import validate_loop
+
+__all__ = [
+    "Reg",
+    "RegClass",
+    "RegisterFile",
+    "ROTATING_GR_BASE",
+    "ROTATING_PR_BASE",
+    "ROTATING_FR_BASE",
+    "AccessPattern",
+    "LatencyHint",
+    "MemRef",
+    "Opcode",
+    "UnitClass",
+    "OPCODES",
+    "opcode",
+    "Instruction",
+    "Loop",
+    "TripCountInfo",
+    "TripCountSource",
+    "LoopBuilder",
+    "parse_loop",
+    "format_instruction",
+    "format_loop",
+    "validate_loop",
+]

@@ -1,0 +1,287 @@
+"""Fluent construction API for loops.
+
+The builder hands out fresh virtual registers, tracks instruction order,
+infers live-in registers, and produces a validated :class:`Loop`.  It is
+the primary way tests, examples and the synthetic workload suite create
+loop bodies::
+
+    b = LoopBuilder()
+    a = b.memref("a", stride=4)
+    c = b.memref("c", stride=4)
+    addend = b.live_greg("addend")
+    pa, pc = b.live_greg("pa"), b.live_greg("pc")
+    x = b.load("ld4", pa, a, post_inc=4)
+    y = b.alu("add", x, addend)
+    b.store("st4", pc, y, c, post_inc=4)
+    loop = b.build("copy_add", trips=100.0)
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import IRError
+from repro.ir.instructions import Instruction
+from repro.ir.loop import Loop, TripCountInfo, TripCountSource
+from repro.ir.memref import AccessPattern, MemRef
+from repro.ir.opcodes import opcode
+from repro.ir.registers import Reg, RegClass
+from repro.ir.validate import validate_loop
+
+
+class LoopBuilder:
+    """Incrementally assembles one innermost loop."""
+
+    def __init__(self) -> None:
+        self._counters = {rc: itertools.count(1) for rc in RegClass}
+        self._body: list[Instruction] = []
+        self._live_in: set[Reg] = set()
+        self._live_out: set[Reg] = set()
+        self._independent_spaces: set[str] = set()
+
+    # --- registers -------------------------------------------------------
+    def greg(self) -> Reg:
+        """A fresh virtual general register."""
+        return Reg(RegClass.GR, next(self._counters[RegClass.GR]))
+
+    def freg(self) -> Reg:
+        """A fresh virtual floating-point register."""
+        return Reg(RegClass.FR, next(self._counters[RegClass.FR]))
+
+    def pred(self) -> Reg:
+        """A fresh virtual predicate register."""
+        return Reg(RegClass.PR, next(self._counters[RegClass.PR]))
+
+    def live_greg(self, name: str = "") -> Reg:
+        """A fresh general register marked live-in (loop invariant/initial)."""
+        reg = self.greg()
+        self._live_in.add(reg)
+        return reg
+
+    def live_freg(self, name: str = "") -> Reg:
+        """A fresh FP register marked live-in."""
+        reg = self.freg()
+        self._live_in.add(reg)
+        return reg
+
+    def mark_live_out(self, *regs: Reg) -> None:
+        self._live_out.update(regs)
+
+    def independent(self, *spaces: str) -> None:
+        """Declare memory spaces that never alias anything else."""
+        self._independent_spaces.update(spaces)
+
+    # --- memory references -------------------------------------------------
+    def memref(
+        self,
+        name: str,
+        pattern: AccessPattern = AccessPattern.AFFINE,
+        stride: int | None = None,
+        size: int = 4,
+        is_fp: bool = False,
+        space: str = "",
+        index_ref: MemRef | None = None,
+        offset: int = 0,
+    ) -> MemRef:
+        return MemRef(
+            name=name,
+            pattern=pattern,
+            stride=stride,
+            size=size,
+            is_fp=is_fp,
+            space=space,
+            index_ref=index_ref,
+            offset=offset,
+        )
+
+    # --- instructions -------------------------------------------------------
+    def emit(self, inst: Instruction) -> Instruction:
+        inst.index = len(self._body)
+        self._body.append(inst)
+        return inst
+
+    def load(
+        self,
+        mnemonic: str,
+        addr: Reg,
+        ref: MemRef,
+        post_inc: int | None = None,
+        qual_pred: Reg | None = None,
+    ) -> Reg:
+        """Emit a load; returns the (fresh) destination register."""
+        op = opcode(mnemonic)
+        if not op.is_load:
+            raise IRError(f"{mnemonic} is not a load")
+        dest = self.freg() if op.is_fp else self.greg()
+        self.emit(
+            Instruction(
+                op,
+                defs=(dest,),
+                uses=(addr,),
+                memref=ref,
+                post_increment=post_inc,
+                qual_pred=qual_pred,
+            )
+        )
+        return dest
+
+    def load_into(
+        self,
+        mnemonic: str,
+        dest: Reg,
+        addr: Reg,
+        ref: MemRef,
+        post_inc: int | None = None,
+        qual_pred: Reg | None = None,
+    ) -> Reg:
+        """Load into an explicit destination.
+
+        With ``dest is addr`` this builds the self-recurrent pointer-chase
+        idiom ``ld8 p = [p]`` (``node = node->child``)."""
+        op = opcode(mnemonic)
+        if not op.is_load:
+            raise IRError(f"{mnemonic} is not a load")
+        self.emit(
+            Instruction(
+                op,
+                defs=(dest,),
+                uses=(addr,),
+                memref=ref,
+                post_increment=post_inc,
+                qual_pred=qual_pred,
+            )
+        )
+        return dest
+
+    def store(
+        self,
+        mnemonic: str,
+        addr: Reg,
+        value: Reg,
+        ref: MemRef,
+        post_inc: int | None = None,
+        qual_pred: Reg | None = None,
+    ) -> Instruction:
+        op = opcode(mnemonic)
+        if not op.is_store:
+            raise IRError(f"{mnemonic} is not a store")
+        return self.emit(
+            Instruction(
+                op,
+                defs=(),
+                uses=(addr, value),
+                memref=ref,
+                post_increment=post_inc,
+                qual_pred=qual_pred,
+            )
+        )
+
+    def prefetch(
+        self, addr: Reg, ref: MemRef, post_inc: int | None = None
+    ) -> Instruction:
+        return self.emit(
+            Instruction(
+                opcode("lfetch"),
+                defs=(),
+                uses=(addr,),
+                memref=ref,
+                post_increment=post_inc,
+            )
+        )
+
+    def alu(
+        self, mnemonic: str, *sources: Reg, qual_pred: Reg | None = None
+    ) -> Reg:
+        """Emit a register-register ALU/FP operation; returns the dest."""
+        op = opcode(mnemonic)
+        if op.is_memory or op.is_branch or op.writes_predicate:
+            raise IRError(f"{mnemonic} is not a plain ALU operation")
+        dest = self.freg() if op.is_fp else self.greg()
+        self.emit(
+            Instruction(op, defs=(dest,), uses=tuple(sources), qual_pred=qual_pred)
+        )
+        return dest
+
+    def alu_into(
+        self,
+        mnemonic: str,
+        dest: Reg,
+        *sources: Reg,
+        imm: int | None = None,
+        qual_pred: Reg | None = None,
+    ) -> Reg:
+        """ALU op with an explicit destination (for accumulators)."""
+        op = opcode(mnemonic)
+        self.emit(
+            Instruction(
+                op,
+                defs=(dest,),
+                uses=tuple(sources),
+                imm=imm,
+                qual_pred=qual_pred,
+            )
+        )
+        return dest
+
+    def alu_imm(
+        self, mnemonic: str, source: Reg, imm: int, qual_pred: Reg | None = None
+    ) -> Reg:
+        op = opcode(mnemonic)
+        dest = self.freg() if op.is_fp else self.greg()
+        self.emit(
+            Instruction(
+                op, defs=(dest,), uses=(source,), imm=imm, qual_pred=qual_pred
+            )
+        )
+        return dest
+
+    def fma(self, a: Reg, b: Reg, c: Reg, qual_pred: Reg | None = None) -> Reg:
+        """Floating-point multiply-add ``a*b + c``."""
+        return self.alu("fma", a, b, c, qual_pred=qual_pred)
+
+    def cmp(self, a: Reg, b: Reg, fp: bool = False) -> Reg:
+        """Compare; returns the predicate it sets."""
+        dest = self.pred()
+        self.emit(
+            Instruction(opcode("fcmp" if fp else "cmp"), defs=(dest,), uses=(a, b))
+        )
+        return dest
+
+    # --- finalisation -------------------------------------------------------
+    def build(
+        self,
+        name: str,
+        trips: float | None = None,
+        trip_source: TripCountSource = TripCountSource.PGO,
+        max_trips: int | None = None,
+        counted: bool = True,
+        contiguous_across_outer: bool = False,
+        validate: bool = True,
+    ) -> Loop:
+        """Finish the loop: infer live-ins, validate, return it."""
+        defined: set[Reg] = set()
+        live_in = set(self._live_in)
+        for inst in self._body:
+            for reg in inst.all_uses():
+                if reg.virtual and reg not in defined:
+                    live_in.add(reg)
+            for reg in inst.all_defs():
+                defined.add(reg)
+        info = TripCountInfo(
+            estimate=trips,
+            source=trip_source if trips is not None else TripCountSource.UNKNOWN,
+            max_trips=max_trips,
+            contiguous_across_outer=contiguous_across_outer,
+        )
+        loop = Loop(
+            name=name,
+            body=list(self._body),
+            live_in=live_in,
+            live_out=set(self._live_out),
+            trip_count=info,
+            counted=counted,
+            independent_spaces=frozenset(self._independent_spaces),
+        )
+        if validate:
+            validate_loop(loop)
+        return loop

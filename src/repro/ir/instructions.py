@@ -1,0 +1,102 @@
+"""Instruction objects.
+
+Instructions are identity-hashable (two structurally identical instructions
+in a loop body are distinct schedulable entities).  Scheduling results live
+outside the IR in :class:`repro.pipeliner.schedule.Schedule`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IRError
+from repro.ir.memref import MemRef
+from repro.ir.opcodes import Opcode
+from repro.ir.registers import Reg, RegClass
+
+
+@dataclass(eq=False)
+class Instruction:
+    """One operation in a loop body.
+
+    ``defs``/``uses`` list register operands.  Memory operations carry a
+    :class:`MemRef` and an address register (always the first use for loads
+    and prefetches, and for stores the first use is the *address*, the
+    second the stored value).  ``post_increment`` models the Itanium
+    ``ld4 r4 = [r5], 4`` form: the address register is both read and
+    written, creating the loop recurrence on the induction variable.
+    ``qual_pred`` is the qualifying predicate of an if-converted operation.
+    """
+
+    opcode: Opcode
+    defs: tuple[Reg, ...] = ()
+    uses: tuple[Reg, ...] = ()
+    imm: int | None = None
+    memref: MemRef | None = None
+    post_increment: int | None = None
+    qual_pred: Reg | None = None
+    #: position in the loop body; assigned by :class:`repro.ir.loop.Loop`.
+    index: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.opcode.is_memory and self.memref is None:
+            raise IRError(f"memory operation {self.opcode} requires a memref")
+        if not self.opcode.is_memory and self.memref is not None:
+            raise IRError(f"non-memory operation {self.opcode} carries a memref")
+        if self.post_increment is not None and not self.opcode.is_memory:
+            raise IRError("post-increment only valid on memory operations")
+        if self.qual_pred is not None and self.qual_pred.rclass is not RegClass.PR:
+            raise IRError("qualifying predicate must be a predicate register")
+
+    # --- convenience delegations ---------------------------------------
+    @property
+    def mnemonic(self) -> str:
+        return self.opcode.mnemonic
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode.is_store
+
+    @property
+    def is_prefetch(self) -> bool:
+        return self.opcode.is_prefetch
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode.is_memory
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode.is_branch
+
+    @property
+    def is_fp(self) -> bool:
+        return self.opcode.is_fp
+
+    @property
+    def address_reg(self) -> Reg | None:
+        """The address register of a memory operation (``None`` otherwise)."""
+        if not self.opcode.is_memory or not self.uses:
+            return None
+        return self.uses[0]
+
+    def all_uses(self) -> tuple[Reg, ...]:
+        """Register uses including the qualifying predicate."""
+        if self.qual_pred is None:
+            return self.uses
+        return self.uses + (self.qual_pred,)
+
+    def all_defs(self) -> tuple[Reg, ...]:
+        """Register defs including the post-incremented address register."""
+        if self.post_increment is not None and self.address_reg is not None:
+            return self.defs + (self.address_reg,)
+        return self.defs
+
+    def __repr__(self) -> str:
+        from repro.ir.printer import format_instruction
+
+        return f"<{self.index}: {format_instruction(self)}>"

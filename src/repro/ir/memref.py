@@ -1,0 +1,159 @@
+"""Memory-reference descriptors and latency-hint tokens.
+
+Each memory instruction in a loop refers to a :class:`MemRef` describing the
+*static* memory reference: its access pattern across source iterations, its
+stride, the array/heap "space" it touches, and — crucially for this paper —
+the annotations the High-Level Optimizer attaches to it:
+
+* whether (and at what distance) it is prefetched, and
+* the *expected-latency hint* token (Sec. 3.2: "There is a token associated
+  with each memory reference that is used to provide hints from the
+  prefetcher to the code generator in the back-end").
+
+The hint token is consumed by the machine model when the pipeliner queries
+load latencies (Sec. 3.3).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+
+class AccessPattern(enum.Enum):
+    """Static classification of how a reference's address evolves."""
+
+    #: ``a[i]`` — base + constant stride per source iteration.
+    AFFINE = "affine"
+    #: ``a[i*n]`` — affine with a stride unknown at compile time (Sec. 3.2
+    #: rule 2a: prefetch distance limited to contain TLB pressure).
+    SYMBOLIC_STRIDE = "symbolic"
+    #: ``a[b[i]]`` — indirect through an index reference (Sec. 3.2 rule 2b).
+    INDIRECT = "indirect"
+    #: ``node = node->child`` — address depends on the previous iteration's
+    #: loaded value; cannot be prefetched (Sec. 4.4).
+    POINTER_CHASE = "chase"
+    #: address does not change across iterations.
+    INVARIANT = "invariant"
+
+
+class LatencyHint(enum.Enum):
+    """Expected-latency hint token attached to a memory reference.
+
+    ``NONE`` means "schedule for the base (minimum) latency".  ``L2``/``L3``
+    mean "expect this load to hit no higher than L2/L3" and are translated by
+    the machine model into *typical* latencies that exceed the best-case
+    cache latencies (Sec. 3.3).  ``MEM`` marks expected main-memory latency;
+    the pipeliner clips the scheduled latency for such loads because
+    scheduling for more than 20-30 cycles is not advisable (Sec. 2.1).
+    """
+
+    NONE = 0
+    L1 = 1
+    L2 = 2
+    L3 = 3
+    MEM = 4
+
+    def __lt__(self, other: "LatencyHint") -> bool:
+        if not isinstance(other, LatencyHint):
+            return NotImplemented
+        return self.value < other.value
+
+
+_memref_ids = itertools.count()
+
+
+@dataclass(eq=False)
+class MemRef:
+    """A static memory reference inside a loop.
+
+    Identity (``eq=False``) is deliberate: two references with identical
+    descriptions are still distinct references — they get separate prefetch
+    and hint decisions.
+    """
+
+    name: str
+    pattern: AccessPattern = AccessPattern.AFFINE
+    #: element size in bytes (4 = word, 8 = double)
+    size: int = 4
+    #: stride in bytes per source iteration; ``None`` when symbolic/unknown.
+    stride: int | None = None
+    #: constant byte offset from the space's access sequence (distinct
+    #: stencil taps: ``x[i-1]``, ``x[i]``, ``x[i+1]`` share a line group
+    #: but touch different addresses)
+    offset: int = 0
+    #: True for floating-point data (FP loads bypass L1 on Itanium 2).
+    is_fp: bool = False
+    #: name of the array / heap region accessed (address-space key for the
+    #: simulator and for cache-line grouping in HLO).
+    space: str = ""
+    #: for INDIRECT references: the reference that produces the index.
+    index_ref: "MemRef | None" = None
+
+    # --- annotations filled in by the High-Level Optimizer -------------
+    #: latency-hint token (Sec. 3.2/3.3)
+    hint: LatencyHint = LatencyHint.NONE
+    #: provenance of the hint: ``"hlo"`` for prefetcher-directed marks
+    #: (rules 1-3 of Sec. 3.2, trusted even in low-trip-count loops —
+    #: Sec. 3.1/4.4), ``"policy"`` for blanket settings (ALL_LOADS_L3 /
+    #: FP-L2 default), which the trip-count threshold gates (Fig. 7)
+    hint_source: str = ""
+    #: whether HLO emitted a prefetch for this reference
+    prefetched: bool = False
+    #: prefetch distance in source iterations (0 when not prefetched)
+    prefetch_distance: int = 0
+    #: HLO's estimate of the fraction of the miss latency the prefetch covers
+    prefetch_efficiency: float = 0.0
+    #: prefetch targets L2 only (OzQ-pressure rule 3 of Sec. 3.2)
+    prefetch_l2_only: bool = False
+
+    uid: int = field(default_factory=lambda: next(_memref_ids))
+
+    def __post_init__(self) -> None:
+        if self.size not in (1, 2, 4, 8, 16):
+            raise ValueError(f"unsupported access size: {self.size}")
+        if self.pattern is AccessPattern.AFFINE and self.stride is None:
+            # A plain affine reference defaults to unit (element) stride.
+            self.stride = self.size
+        if self.pattern is AccessPattern.INDIRECT and self.index_ref is None:
+            raise ValueError(f"indirect reference {self.name!r} needs index_ref")
+        if not self.space:
+            self.space = self.name
+
+    @property
+    def prefetchable(self) -> bool:
+        """Whether software prefetching can compute this address in advance.
+
+        Pointer-chasing references depend on a load recurrence and cannot be
+        prefetched (Sec. 4.4); invariant references need no prefetch.
+        """
+        return self.pattern not in (
+            AccessPattern.POINTER_CHASE,
+            AccessPattern.INVARIANT,
+        )
+
+    def clone_annotations_cleared(self) -> "MemRef":
+        """A copy of this reference with all HLO annotations reset.
+
+        Used by the experiment harness so that compiling the same loop under
+        two configurations never leaks hints between runs.
+        """
+        return MemRef(
+            name=self.name,
+            pattern=self.pattern,
+            size=self.size,
+            stride=self.stride,
+            offset=self.offset,
+            is_fp=self.is_fp,
+            space=self.space,
+            index_ref=self.index_ref,
+        )
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.hint is not LatencyHint.NONE:
+            extra += f" hint={self.hint.name}"
+        if self.prefetched:
+            extra += f" pf@{self.prefetch_distance}"
+        return f"MemRef({self.name}:{self.pattern.value}{extra})"

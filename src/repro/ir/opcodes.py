@@ -1,0 +1,128 @@
+"""Opcode table: execution-unit classes, base latencies, and attributes.
+
+Latencies here are *operation* latencies independent of the memory
+hierarchy.  Load latencies are special: the base latency encodes the
+best-case (L1D hit for integer loads, L2 hit for FP loads, which bypass L1
+on Itanium 2); the *scheduling* latency of a load is decided by the machine
+model from the reference's latency hint and the pipeliner's
+critical/non-critical classification (Sec. 3.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class UnitClass(enum.Enum):
+    """Execution-unit class required by an opcode.
+
+    ``A``-type instructions (simple integer ALU) can execute on either an M
+    or an I port; the others are tied to their unit.
+    """
+
+    A = "A"  #: integer ALU, dispatches to M or I ports
+    I = "I"  #: integer unit (shifts, multimedia, ...)
+    M = "M"  #: memory unit (loads, stores, prefetches, setf/getf)
+    F = "F"  #: floating-point unit
+    B = "B"  #: branch unit
+    NONE = "-"  #: pseudo-ops that consume no issue slot
+
+
+@dataclass(frozen=True, slots=True)
+class Opcode:
+    """Static description of one machine operation."""
+
+    mnemonic: str
+    unit: UnitClass
+    latency: int
+    is_load: bool = False
+    is_store: bool = False
+    is_fp: bool = False
+    is_prefetch: bool = False
+    is_branch: bool = False
+    writes_predicate: bool = False
+
+    @property
+    def is_memory(self) -> bool:
+        return self.is_load or self.is_store or self.is_prefetch
+
+    def __str__(self) -> str:
+        return self.mnemonic
+
+
+def _op(mnemonic: str, unit: UnitClass, latency: int, **flags: bool) -> Opcode:
+    return Opcode(mnemonic, unit, latency, **flags)
+
+
+#: The opcode table.  Latencies follow the Itanium 2 reference manual's
+#: common cases: 1-cycle integer ALU, 4-cycle FP arithmetic (fully
+#: pipelined), multi-cycle cross-file transfers.
+OPCODES: dict[str, Opcode] = {
+    op.mnemonic: op
+    for op in [
+        # --- integer loads (best case: L1D hit, 1 cycle) ----------------
+        _op("ld1", UnitClass.M, 1, is_load=True),
+        _op("ld2", UnitClass.M, 1, is_load=True),
+        _op("ld4", UnitClass.M, 1, is_load=True),
+        _op("ld8", UnitClass.M, 1, is_load=True),
+        # --- FP loads (bypass L1; best case: L2 hit, 5+1 cycles) --------
+        _op("ldfs", UnitClass.M, 6, is_load=True, is_fp=True),
+        _op("ldfd", UnitClass.M, 6, is_load=True, is_fp=True),
+        # --- stores ------------------------------------------------------
+        _op("st1", UnitClass.M, 1, is_store=True),
+        _op("st2", UnitClass.M, 1, is_store=True),
+        _op("st4", UnitClass.M, 1, is_store=True),
+        _op("st8", UnitClass.M, 1, is_store=True),
+        _op("stfs", UnitClass.M, 1, is_store=True, is_fp=True),
+        _op("stfd", UnitClass.M, 1, is_store=True, is_fp=True),
+        # --- software prefetch -------------------------------------------
+        _op("lfetch", UnitClass.M, 1, is_prefetch=True),
+        # --- integer ALU (A-type: M or I port) ---------------------------
+        _op("add", UnitClass.A, 1),
+        _op("sub", UnitClass.A, 1),
+        _op("adds", UnitClass.A, 1),  # add short immediate
+        _op("addl", UnitClass.A, 1),  # add long immediate
+        _op("shladd", UnitClass.A, 1),
+        _op("and", UnitClass.A, 1),
+        _op("or", UnitClass.A, 1),
+        _op("xor", UnitClass.A, 1),
+        _op("mov", UnitClass.A, 1),
+        _op("sxt4", UnitClass.I, 1),
+        _op("zxt4", UnitClass.I, 1),
+        _op("shl", UnitClass.I, 1),
+        _op("shr", UnitClass.I, 1),
+        # compares write predicate pairs
+        _op("cmp", UnitClass.A, 1, writes_predicate=True),
+        _op("tbit", UnitClass.I, 1, writes_predicate=True),
+        # --- floating point ----------------------------------------------
+        _op("fma", UnitClass.F, 4, is_fp=True),
+        _op("fnma", UnitClass.F, 4, is_fp=True),
+        _op("fadd", UnitClass.F, 4, is_fp=True),
+        _op("fsub", UnitClass.F, 4, is_fp=True),
+        _op("fmpy", UnitClass.F, 4, is_fp=True),
+        _op("fcvt", UnitClass.F, 4, is_fp=True),
+        _op("fcmp", UnitClass.F, 2, is_fp=True, writes_predicate=True),
+        _op("frcpa", UnitClass.F, 4, is_fp=True, writes_predicate=True),
+        # cross-file transfers are expensive on Itanium 2
+        _op("setf", UnitClass.M, 6, is_fp=True),
+        _op("getf", UnitClass.M, 5, is_fp=True),
+        # --- branches -----------------------------------------------------
+        _op("br.ctop", UnitClass.B, 1, is_branch=True),
+        _op("br.cloop", UnitClass.B, 1, is_branch=True),
+        _op("br.wtop", UnitClass.B, 1, is_branch=True),
+        _op("br.cond", UnitClass.B, 1, is_branch=True),
+        # --- pseudo -------------------------------------------------------
+        _op("nop", UnitClass.A, 0),
+    ]
+}
+
+
+def opcode(mnemonic: str) -> Opcode:
+    """Look up an opcode by mnemonic, raising ``IRError`` for unknown names."""
+    from repro.errors import IRError
+
+    try:
+        return OPCODES[mnemonic]
+    except KeyError:
+        raise IRError(f"unknown opcode: {mnemonic!r}") from None

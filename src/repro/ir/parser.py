@@ -1,0 +1,280 @@
+"""Textual loop parser.
+
+Accepts a small Itanium-flavoured dialect that is convenient in tests and
+examples.  Example::
+
+    memref A affine stride=4
+    memref B affine stride=4
+
+    loop copy_add trips=200 source=pgo
+      ld4 r4 = [r5], 4 !A
+      add r7 = r4, r9
+      st4 [r6] = r7, 4 !B
+
+Register tokens ``rN``/``fN``/``pN`` denote *virtual* registers.  Memory
+instructions reference declared memrefs with ``!NAME``.  A ``(pN)`` prefix
+sets the qualifying predicate.  Live-ins are inferred (anything used before
+being defined).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.ir.instructions import Instruction
+from repro.ir.loop import Loop, TripCountInfo, TripCountSource
+from repro.ir.memref import AccessPattern, MemRef
+from repro.ir.opcodes import OPCODES
+from repro.ir.registers import Reg, RegClass
+from repro.ir.validate import validate_loop
+
+_REG_RE = re.compile(r"^(r|f|p)(\d+)$")
+_QP_RE = re.compile(r"^\((p\d+)\)\s+(.*)$")
+_MEM_RE = re.compile(r"^\[(\w+)\]$")
+
+_PATTERNS = {
+    "affine": AccessPattern.AFFINE,
+    "symbolic": AccessPattern.SYMBOLIC_STRIDE,
+    "indirect": AccessPattern.INDIRECT,
+    "chase": AccessPattern.POINTER_CHASE,
+    "invariant": AccessPattern.INVARIANT,
+}
+
+_CLASSES = {"r": RegClass.GR, "f": RegClass.FR, "p": RegClass.PR}
+
+
+def _parse_reg(token: str, line_no: int) -> Reg:
+    m = _REG_RE.match(token)
+    if not m:
+        raise ParseError(f"expected register, got {token!r}", line_no)
+    return Reg(_CLASSES[m.group(1)], int(m.group(2)))
+
+
+def _parse_operand(token: str, line_no: int) -> Reg | int:
+    if _REG_RE.match(token):
+        return _parse_reg(token, line_no)
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise ParseError(f"expected register or immediate, got {token!r}", line_no)
+
+
+def _split_kv(tokens: list[str], line_no: int) -> tuple[list[str], dict[str, str]]:
+    """Separate positional tokens from key=value tokens."""
+    positional: list[str] = []
+    kv: dict[str, str] = {}
+    for tok in tokens:
+        if "=" in tok:
+            key, _, value = tok.partition("=")
+            kv[key] = value
+        else:
+            positional.append(tok)
+    return positional, kv
+
+
+def _parse_memref(
+    tokens: list[str], refs: dict[str, MemRef], line_no: int
+) -> MemRef:
+    if not tokens:
+        raise ParseError("memref needs a name", line_no)
+    name, *rest = tokens
+    positional, kv = _split_kv(rest, line_no)
+    pattern = AccessPattern.AFFINE
+    is_fp = False
+    for tok in positional:
+        if tok in _PATTERNS:
+            pattern = _PATTERNS[tok]
+        elif tok == "fp":
+            is_fp = True
+        else:
+            raise ParseError(f"unknown memref attribute {tok!r}", line_no)
+    index_ref = None
+    if "index" in kv:
+        index_name = kv["index"]
+        if index_name not in refs:
+            raise ParseError(f"unknown index memref {index_name!r}", line_no)
+        index_ref = refs[index_name]
+    try:
+        ref = MemRef(
+            name=name,
+            pattern=pattern,
+            stride=int(kv["stride"]) if "stride" in kv else None,
+            size=int(kv.get("size", "4")),
+            is_fp=is_fp,
+            space=kv.get("space", ""),
+            index_ref=index_ref,
+        )
+    except ValueError as exc:
+        raise ParseError(str(exc), line_no)
+    return ref
+
+
+def _parse_instruction(
+    text: str, refs: dict[str, MemRef], line_no: int
+) -> Instruction:
+    qual_pred: Reg | None = None
+    m = _QP_RE.match(text)
+    if m:
+        qual_pred = _parse_reg(m.group(1), line_no)
+        text = m.group(2)
+
+    # peel a trailing "!REF" memref annotation
+    memref: MemRef | None = None
+    parts = text.rsplit("!", 1)
+    if len(parts) == 2:
+        text, ref_name = parts[0].strip(), parts[1].strip()
+        if ref_name not in refs:
+            raise ParseError(f"unknown memref {ref_name!r}", line_no)
+        memref = refs[ref_name]
+
+    mnemonic, _, rest = text.partition(" ")
+    mnemonic = mnemonic.strip()
+    if mnemonic not in OPCODES:
+        raise ParseError(f"unknown opcode {mnemonic!r}", line_no)
+    op = OPCODES[mnemonic]
+    rest = rest.strip()
+
+    lhs, eq, rhs = rest.partition("=")
+    lhs, rhs = lhs.strip(), rhs.strip()
+
+    def split_commas(s: str) -> list[str]:
+        return [t.strip() for t in s.split(",") if t.strip()] if s else []
+
+    post_inc: int | None = None
+    if op.is_load:
+        if not eq:
+            raise ParseError(f"load needs 'dest = [addr]': {text!r}", line_no)
+        dest = _parse_reg(lhs, line_no)
+        rhs_tokens = split_commas(rhs)
+        mem_m = _MEM_RE.match(rhs_tokens[0]) if rhs_tokens else None
+        if not mem_m:
+            raise ParseError(f"load needs a [addr] operand: {text!r}", line_no)
+        addr = _parse_reg(mem_m.group(1), line_no)
+        if len(rhs_tokens) > 1:
+            post_inc = int(rhs_tokens[1], 0)
+        return Instruction(
+            op,
+            defs=(dest,),
+            uses=(addr,),
+            memref=memref,
+            post_increment=post_inc,
+            qual_pred=qual_pred,
+        )
+    if op.is_store:
+        mem_m = _MEM_RE.match(lhs)
+        if not eq or not mem_m:
+            raise ParseError(f"store needs '[addr] = value': {text!r}", line_no)
+        addr = _parse_reg(mem_m.group(1), line_no)
+        rhs_tokens = split_commas(rhs)
+        if not rhs_tokens:
+            raise ParseError(f"store needs a value: {text!r}", line_no)
+        value = _parse_reg(rhs_tokens[0], line_no)
+        if len(rhs_tokens) > 1:
+            post_inc = int(rhs_tokens[1], 0)
+        return Instruction(
+            op,
+            defs=(),
+            uses=(addr, value),
+            memref=memref,
+            post_increment=post_inc,
+            qual_pred=qual_pred,
+        )
+    if op.is_prefetch:
+        tokens = split_commas(rest)
+        mem_m = _MEM_RE.match(tokens[0]) if tokens else None
+        if not mem_m:
+            raise ParseError(f"lfetch needs a [addr] operand: {text!r}", line_no)
+        addr = _parse_reg(mem_m.group(1), line_no)
+        if len(tokens) > 1:
+            post_inc = int(tokens[1], 0)
+        return Instruction(
+            op,
+            defs=(),
+            uses=(addr,),
+            memref=memref,
+            post_increment=post_inc,
+            qual_pred=qual_pred,
+        )
+
+    # plain register operation: "op d = s1, s2[, imm]" or "op s1, s2"
+    defs: tuple[Reg, ...] = ()
+    if eq:
+        defs = tuple(_parse_reg(t, line_no) for t in split_commas(lhs))
+        source_text = rhs
+    else:
+        source_text = rest
+    uses: list[Reg] = []
+    imm: int | None = None
+    for tok in split_commas(source_text):
+        operand = _parse_operand(tok, line_no)
+        if isinstance(operand, Reg):
+            uses.append(operand)
+        else:
+            imm = operand
+    return Instruction(
+        op, defs=defs, uses=tuple(uses), imm=imm, qual_pred=qual_pred
+    )
+
+
+def parse_loop(text: str) -> Loop:
+    """Parse one loop (with optional memref declarations) from ``text``."""
+    refs: dict[str, MemRef] = {}
+    body: list[Instruction] = []
+    name: str | None = None
+    trips: float | None = None
+    source = TripCountSource.PGO
+    max_trips: int | None = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        if tokens[0] == "memref":
+            ref = _parse_memref(tokens[1:], refs, line_no)
+            refs[ref.name] = ref
+        elif tokens[0] == "loop":
+            if name is not None:
+                raise ParseError("multiple loop headers", line_no)
+            if len(tokens) < 2:
+                raise ParseError("loop needs a name", line_no)
+            name = tokens[1]
+            _, kv = _split_kv(tokens[2:], line_no)
+            if "trips" in kv:
+                trips = float(kv["trips"])
+            if "max_trips" in kv:
+                max_trips = int(kv["max_trips"])
+            if "source" in kv:
+                try:
+                    source = TripCountSource(kv["source"])
+                except ValueError:
+                    raise ParseError(
+                        f"unknown trip-count source {kv['source']!r}", line_no
+                    )
+        else:
+            if name is None:
+                raise ParseError("instruction before loop header", line_no)
+            body.append(_parse_instruction(line, refs, line_no))
+
+    if name is None:
+        raise ParseError("no loop header found")
+    if not body:
+        raise ParseError(f"loop {name!r} has no instructions")
+
+    live_in: set[Reg] = set()
+    defined: set[Reg] = set()
+    for inst in body:
+        for reg in inst.all_uses():
+            if reg not in defined:
+                live_in.add(reg)
+        defined.update(inst.all_defs())
+
+    info = TripCountInfo(
+        estimate=trips,
+        source=source if trips is not None else TripCountSource.UNKNOWN,
+        max_trips=max_trips,
+    )
+    loop = Loop(name=name, body=body, live_in=live_in, trip_count=info)
+    validate_loop(loop)
+    return loop

@@ -1,0 +1,60 @@
+"""Disassembly-style formatting of instructions and loops."""
+
+from __future__ import annotations
+
+from repro.ir.instructions import Instruction
+from repro.ir.loop import Loop
+
+
+def format_instruction(inst: Instruction) -> str:
+    """Render one instruction in Itanium-flavoured syntax."""
+    parts: list[str] = []
+    if inst.qual_pred is not None:
+        parts.append(f"({inst.qual_pred})")
+    op = inst.opcode
+
+    if op.is_load or op.is_prefetch:
+        addr = inst.uses[0] if inst.uses else "?"
+        mem = f"[{addr}]"
+        if inst.post_increment is not None:
+            mem += f", {inst.post_increment}"
+        if op.is_prefetch:
+            parts.append(f"{op.mnemonic} {mem}")
+        else:
+            dest = inst.defs[0] if inst.defs else "?"
+            parts.append(f"{op.mnemonic} {dest} = {mem}")
+        if inst.memref is not None:
+            parts.append(f"!{inst.memref.name}")
+    elif op.is_store:
+        addr = inst.uses[0] if inst.uses else "?"
+        value = inst.uses[1] if len(inst.uses) > 1 else "?"
+        mem = f"[{addr}]"
+        rhs = f"{value}"
+        if inst.post_increment is not None:
+            rhs += f", {inst.post_increment}"
+        parts.append(f"{op.mnemonic} {mem} = {rhs}")
+        if inst.memref is not None:
+            parts.append(f"!{inst.memref.name}")
+    else:
+        srcs = [str(u) for u in inst.uses]
+        if inst.imm is not None:
+            srcs.append(str(inst.imm))
+        lhs = ", ".join(str(d) for d in inst.defs) if inst.defs else ""
+        if lhs:
+            parts.append(f"{op.mnemonic} {lhs} = {', '.join(srcs)}")
+        elif srcs:
+            parts.append(f"{op.mnemonic} {', '.join(srcs)}")
+        else:
+            parts.append(op.mnemonic)
+    return " ".join(parts)
+
+
+def format_loop(loop: Loop) -> str:
+    """Render a whole loop, one instruction per line."""
+    lines = [f"loop {loop.name}:"]
+    trips = loop.trip_count
+    if trips.estimate is not None:
+        lines[0] += f"  // trips~{trips.estimate:g} ({trips.source.value})"
+    for inst in loop.body:
+        lines.append(f"  {format_instruction(inst)}")
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Register model: classes, virtual registers, and physical register files.
+
+The Itanium architecture provides 128 general registers (``r0``-``r127``),
+128 floating-point registers (``f0``-``f127``), 64 predicate registers
+(``p0``-``p63``) and 8 branch registers.  Subsets of these *rotate*: on each
+back-edge of a pipelined loop executed through ``br.ctop``-style branches the
+value in rotating register X becomes visible in register X+1 (Sec. 1.1).
+
+The rotating areas are:
+
+* general registers starting at ``r32`` (programmable size, up to 96),
+* floating-point registers ``f32``-``f127`` (96),
+* predicate registers ``p16``-``p63`` (48).
+
+The compiler works on *virtual* registers until the rotating register
+allocator assigns physical numbers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: First rotating general register (``r32``).
+ROTATING_GR_BASE = 32
+#: First rotating floating-point register (``f32``).
+ROTATING_FR_BASE = 32
+#: First rotating predicate register (``p16``); also the first stage predicate.
+ROTATING_PR_BASE = 16
+
+#: Sizes of the rotating areas (Sec. 2.2: "96 integer and 96 FP registers
+#: can rotate"; predicates p16-p63).
+ROTATING_GR_SIZE = 96
+ROTATING_FR_SIZE = 96
+ROTATING_PR_SIZE = 48
+
+
+class RegClass(enum.Enum):
+    """Architectural register classes."""
+
+    GR = "r"  #: general (integer) registers
+    FR = "f"  #: floating-point registers
+    PR = "p"  #: predicate registers
+    BR = "b"  #: branch registers
+    AR = "ar"  #: application registers (loop count LC, epilog count EC)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RegClass.{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class Reg:
+    """A register operand.
+
+    ``virtual`` registers carry compiler-assigned indices and are renamed to
+    physical rotating/static registers after scheduling.  ``physical``
+    registers (``virtual=False``) refer directly to architectural numbers
+    and are used for loop invariants that live in static registers, for the
+    special registers (``LC``, ``EC``), and in post-allocation kernels.
+    """
+
+    rclass: RegClass
+    index: int
+    virtual: bool = True
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"register index must be non-negative: {self.index}")
+
+    @property
+    def name(self) -> str:
+        prefix = self.rclass.value
+        if self.virtual:
+            return f"v{prefix}{self.index}"
+        return f"{prefix}{self.index}"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Reg({self.name})"
+
+
+def greg(index: int, virtual: bool = True) -> Reg:
+    """Shorthand constructor for a general register."""
+    return Reg(RegClass.GR, index, virtual)
+
+
+def freg(index: int, virtual: bool = True) -> Reg:
+    """Shorthand constructor for a floating-point register."""
+    return Reg(RegClass.FR, index, virtual)
+
+
+def preg(index: int, virtual: bool = True) -> Reg:
+    """Shorthand constructor for a predicate register."""
+    return Reg(RegClass.PR, index, virtual)
+
+
+#: The architectural loop-count application register (``ar.lc``).
+AR_LC = Reg(RegClass.AR, 65, virtual=False)
+#: The architectural epilog-count application register (``ar.ec``).
+AR_EC = Reg(RegClass.AR, 66, virtual=False)
+
+
+@dataclass(frozen=True, slots=True)
+class RegisterFile:
+    """Description of one physical register file and its rotating area."""
+
+    rclass: RegClass
+    total: int
+    rotating_base: int
+    rotating_size: int
+
+    def __post_init__(self) -> None:
+        if self.rotating_base + self.rotating_size > self.total:
+            raise ValueError(
+                "rotating area exceeds register file: "
+                f"{self.rotating_base}+{self.rotating_size} > {self.total}"
+            )
+
+    @property
+    def static_count(self) -> int:
+        """Number of non-rotating registers in this file."""
+        return self.total - self.rotating_size
+
+
+def itanium_register_files() -> dict[RegClass, RegisterFile]:
+    """The register files of an Itanium 2 class machine."""
+    return {
+        RegClass.GR: RegisterFile(RegClass.GR, 128, ROTATING_GR_BASE, ROTATING_GR_SIZE),
+        RegClass.FR: RegisterFile(RegClass.FR, 128, ROTATING_FR_BASE, ROTATING_FR_SIZE),
+        RegClass.PR: RegisterFile(RegClass.PR, 64, ROTATING_PR_BASE, ROTATING_PR_SIZE),
+        RegClass.BR: RegisterFile(RegClass.BR, 8, 0, 0),
+    }

@@ -1,0 +1,21 @@
+"""Machine model: execution resources and the latency-query interface.
+
+The pipeliner never hardcodes latencies; it queries the machine model and
+passes a flag saying whether it wants the *minimum (base)* latency of a
+load or the *expected* latency derived from the HLO hint token — exactly
+the interface described in Sec. 3.3 of the paper.
+"""
+
+from repro.machine.resources import ResourceModel, UNIT_CAPACITIES
+from repro.machine.hints import HintTranslation, TYPICAL_TRANSLATION, BEST_CASE_TRANSLATION
+from repro.machine.itanium2 import ItaniumMachine, MemoryTimings
+
+__all__ = [
+    "ResourceModel",
+    "UNIT_CAPACITIES",
+    "HintTranslation",
+    "TYPICAL_TRANSLATION",
+    "BEST_CASE_TRANSLATION",
+    "ItaniumMachine",
+    "MemoryTimings",
+]

@@ -1,0 +1,117 @@
+"""The Itanium-2-class machine description.
+
+Bundles the resource model, the latency tables, and — most importantly —
+the latency-query interface of Sec. 3.3: "the pipeliner queries the machine
+model component of the code generator to obtain the latencies of
+instructions.  For loads, an additional parameter is provided with the
+query that specifies whether the machine model should return the minimum
+(base) latency of the load, or a (possibly higher) expected latency value
+specified by HLO hints."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.instructions import Instruction
+from repro.ir.memref import LatencyHint
+from repro.ir.registers import Reg, RegClass, RegisterFile, itanium_register_files
+from repro.machine.hints import HintTranslation, TYPICAL_TRANSLATION
+from repro.machine.resources import ResourceModel
+
+
+@dataclass(frozen=True)
+class MemoryTimings:
+    """Best-case load-to-use latencies of the memory hierarchy (Sec. 2).
+
+    "On the Dual-Core Itanium 2 processor, the best-case delays until
+    integer loads return data range from 1, 5, 14, and more than a hundred
+    cycles depending on whether the data is found in the L1D, L2D, L3
+    caches, and the main memory."
+    """
+
+    l1: int = 1
+    l2: int = 5
+    l3: int = 14
+    memory: int = 180
+    #: extra cycle for FP format conversion
+    fp_extra: int = 1
+
+    def latency_of_level(self, level: int, is_fp: bool = False) -> int:
+        table = {1: self.l1, 2: self.l2, 3: self.l3, 4: self.memory}
+        return table[level] + (self.fp_extra if is_fp else 0)
+
+
+@dataclass(frozen=True)
+class ItaniumMachine:
+    """Everything the compiler and the simulator know about the target."""
+
+    resources: ResourceModel = field(default_factory=ResourceModel)
+    timings: MemoryTimings = field(default_factory=MemoryTimings)
+    translation: HintTranslation = TYPICAL_TRANSLATION
+    register_files: dict[RegClass, RegisterFile] = field(
+        default_factory=itanium_register_files
+    )
+    #: outstanding memory requests the OzQ sustains without stalling
+    #: ("At least 48 outstanding requests can be active throughout the
+    #: memory hierarchy without stalling the execution pipeline", Sec. 2)
+    ozq_capacity: int = 48
+
+    # --- latency queries ---------------------------------------------------
+    def base_latency(self, inst: Instruction) -> int:
+        """Minimum (base) result latency of ``inst``."""
+        return inst.opcode.latency
+
+    def expected_load_latency(self, inst: Instruction) -> int:
+        """Hint-derived expected latency of a load (Sec. 3.3)."""
+        base = inst.opcode.latency
+        if not inst.is_load or inst.memref is None:
+            return base
+        return self.translation.scheduling_latency(
+            inst.memref.hint, inst.is_fp, base
+        )
+
+    def flow_latency(
+        self, inst: Instruction, reg: Reg | None, expected: bool
+    ) -> int:
+        """Latency of the value ``inst`` produces in ``reg``.
+
+        The post-incremented address register of a memory operation is an
+        ALU-style result available after one cycle; only the *data* result
+        of a load carries the memory latency.
+        """
+        if inst.is_memory and reg is not None and reg not in inst.defs:
+            return 1  # post-increment address result
+        if inst.is_load:
+            if expected:
+                return self.expected_load_latency(inst)
+            return self.base_latency(inst)
+        return max(1, self.base_latency(inst))
+
+    @property
+    def latency_query(self):
+        """The query callable consumed by the DDG layer."""
+        return self.flow_latency
+
+    def with_translation(self, translation: HintTranslation) -> "ItaniumMachine":
+        """A copy of this machine using a different hint translation."""
+        return ItaniumMachine(
+            resources=self.resources,
+            timings=self.timings,
+            translation=translation,
+            register_files=self.register_files,
+            ozq_capacity=self.ozq_capacity,
+        )
+
+    def with_ozq_capacity(self, capacity: int) -> "ItaniumMachine":
+        """A copy with a different OzQ depth (for MLP ablations)."""
+        return ItaniumMachine(
+            resources=self.resources,
+            timings=self.timings,
+            translation=self.translation,
+            register_files=self.register_files,
+            ozq_capacity=capacity,
+        )
+
+    def rotating_capacity(self, rclass: RegClass) -> int:
+        return self.register_files[rclass].rotating_size

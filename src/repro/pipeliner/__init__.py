@@ -1,0 +1,40 @@
+"""Software pipeliner: iterative modulo scheduling with latency tolerance.
+
+This package is the paper's primary contribution.  The flow (Sec. 3.3):
+
+1. compute the Resource II and, with *base* load latencies, the
+   Recurrence II;
+2. classify loads as critical / non-critical: a load is *critical* when
+   boosting all loads on one of its recurrence cycles to their expected
+   (hint-derived) latencies would push that cycle's II bound beyond the
+   likely II — those loads keep their base latencies;
+3. iteratively modulo-schedule from Min II upward, querying the machine
+   model with the critical/non-critical flag per load;
+4. allocate rotating registers; on failure first drop the non-critical
+   latencies back to base *at the same II*, then climb to higher IIs.
+"""
+
+from repro.pipeliner.bounds import IIBounds, compute_bounds
+from repro.pipeliner.criticality import Criticality, classify_loads
+from repro.pipeliner.mrt import ModuloReservationTable
+from repro.pipeliner.schedule import Schedule, LoadPlacement
+from repro.pipeliner.scheduler import modulo_schedule
+from repro.pipeliner.kernel import Kernel, generate_kernel
+from repro.pipeliner.stats import PipelineStats
+from repro.pipeliner.driver import PipelineResult, pipeline_loop
+
+__all__ = [
+    "IIBounds",
+    "compute_bounds",
+    "Criticality",
+    "classify_loads",
+    "ModuloReservationTable",
+    "Schedule",
+    "LoadPlacement",
+    "modulo_schedule",
+    "Kernel",
+    "generate_kernel",
+    "PipelineStats",
+    "PipelineResult",
+    "pipeline_loop",
+]

@@ -1,0 +1,102 @@
+"""Balanced scheduling (Kerns & Eggers, PLDI'93) as a comparison policy.
+
+The paper's related-work section positions balanced scheduling as the
+earliest latency-uncertainty-aware scheduler: it "increases load-use
+distances in the schedule ... It tries to balance these increases equally
+among all loads ... to allow for uncertain latencies and to reduce
+register pressure."  The paper then argues that on Itanium "the available
+number of rotating registers and the available parallelism in the
+software pipeline are so large that we can increase load-use distances in
+the schedule more aggressively" — i.e. selectively and deeply, guided by
+hints, rather than uniformly and shallowly.
+
+This module implements the uniform policy inside the modulo-scheduling
+framework so the two philosophies can be compared head-to-head: a fixed
+additional-latency budget is split evenly across all non-critical loads,
+with no regard to which of them actually miss.
+"""
+
+from __future__ import annotations
+
+from repro.config import CompilerConfig
+from repro.ir.loop import Loop
+from repro.ir.memref import LatencyHint
+from repro.ir.registers import Reg
+from repro.machine.itanium2 import ItaniumMachine
+from repro.pipeliner.driver import PipelineResult, pipeline_loop
+
+
+class PerLoadLatencyMachine:
+    """A machine-model view with per-load expected-latency overrides.
+
+    Everything except the expected latency of the overridden loads is
+    delegated to the wrapped machine, so the scheduler, criticality
+    analysis and register allocator behave identically.
+    """
+
+    def __init__(self, inner: ItaniumMachine, overrides: dict[int, int]):
+        self._inner = inner
+        self._overrides = overrides
+
+    def expected_load_latency(self, inst) -> int:
+        if inst.index in self._overrides:
+            return self._overrides[inst.index]
+        return self._inner.expected_load_latency(inst)
+
+    def base_latency(self, inst) -> int:
+        return self._inner.base_latency(inst)
+
+    def flow_latency(self, inst, reg: Reg | None, expected: bool) -> int:
+        if (
+            expected
+            and inst.is_load
+            and reg is not None
+            and reg in inst.defs
+            and inst.index in self._overrides
+        ):
+            return self._overrides[inst.index]
+        return self._inner.flow_latency(inst, reg, expected)
+
+    @property
+    def latency_query(self):
+        return self.flow_latency
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def balanced_pipeline(
+    loop: Loop,
+    machine: ItaniumMachine,
+    config: CompilerConfig | None = None,
+    total_budget: int | None = None,
+) -> PipelineResult:
+    """Pipeline ``loop`` with a uniformly distributed latency budget.
+
+    ``total_budget`` cycles of additional scheduled latency (default: the
+    machine's clipping bound) are split evenly across the loop's loads.
+    Criticality analysis and the register-pressure fallback still apply —
+    balancing does not get to blow up recurrence cycles either.
+    """
+    config = config or CompilerConfig(trip_count_threshold=0)
+    loads = loop.loads
+    if not loads:
+        return pipeline_loop(loop, machine, config)
+
+    budget = total_budget
+    if budget is None:
+        budget = machine.translation.max_scheduled
+    share = max(1, budget // len(loads))
+
+    overrides: dict[int, int] = {}
+    for load in loads:
+        base = machine.base_latency(load)
+        overrides[load.index] = base + share
+        if load.memref is not None:
+            # any hint token makes the load a boosting candidate; the
+            # actual value comes from the override
+            load.memref.hint = LatencyHint.L2
+            load.memref.hint_source = "balanced"
+
+    balanced_machine = PerLoadLatencyMachine(machine, overrides)
+    return pipeline_loop(loop, balanced_machine, config)

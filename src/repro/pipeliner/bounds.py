@@ -1,0 +1,38 @@
+"""Lower bounds on the initiation interval (Sec. 1.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ddg.cycles import (
+    RecurrenceCycle,
+    enumerate_recurrence_cycles,
+    recurrence_ii,
+)
+from repro.ddg.graph import DDG
+from repro.machine.itanium2 import ItaniumMachine
+
+
+@dataclass(frozen=True)
+class IIBounds:
+    """Resource and recurrence lower bounds for one loop."""
+
+    res_ii: int
+    rec_ii: int
+    cycles: tuple[RecurrenceCycle, ...]
+
+    @property
+    def min_ii(self) -> int:
+        return max(self.res_ii, self.rec_ii, 1)
+
+
+def compute_bounds(ddg: DDG, machine: ItaniumMachine) -> IIBounds:
+    """Resource II from the machine model, Recurrence II at base latencies.
+
+    "Initially, when the Recurrence II is computed, the pipeliner always
+    requests the base latencies." (Sec. 3.3)
+    """
+    res_ii = machine.resources.resource_ii(ddg.loop.body)
+    cycles = enumerate_recurrence_cycles(ddg)
+    rec_ii = recurrence_ii(ddg, machine.latency_query, cycles=cycles)
+    return IIBounds(res_ii=res_ii, rec_ii=rec_ii, cycles=tuple(cycles))

@@ -1,0 +1,169 @@
+"""Kernel code generation: rotation renaming and stage predicates.
+
+Produces the rotating-register form of the pipelined loop, e.g. the
+paper's Fig. 6 for the running example scheduled with two extra latency
+buffer stages::
+
+    L1:
+      (p16) ld4 r32 = [r5],4
+      (p19) add r36 = r35,r9
+      (p20) st4 [r6] = r37,4
+      br.ctop L1 ;;
+
+Each operation at stage ``s`` is guarded by stage predicate ``p16+s``; a
+use of a value defined ``rot`` kernel iterations earlier reads the
+definition's rotating register shifted by ``rot`` (register rotation
+renames ``X`` into ``X+1`` on every back edge, Sec. 1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ddg.edges import DepKind
+from repro.ir.instructions import Instruction
+from repro.ir.registers import Reg, RegClass, ROTATING_PR_BASE
+from repro.pipeliner.schedule import Schedule
+from repro.regalloc.rotating import RotatingAllocation
+
+
+@dataclass(frozen=True)
+class KernelOp:
+    """One operation of the kernel, after renaming."""
+
+    inst: Instruction
+    row: int
+    stage: int
+    stage_pred: int
+    #: physical register numbers as written/read in the kernel text
+    phys_defs: tuple[tuple[Reg, int], ...]
+    phys_uses: tuple[tuple[Reg, int], ...]
+
+    def format(self) -> str:
+        ren: dict[Reg, int] = dict(self.phys_defs) | dict(self.phys_uses)
+
+        def name(reg: Reg) -> str:
+            if reg in ren:
+                return f"{reg.rclass.value}{ren[reg]}"
+            return str(reg)
+
+        op = self.inst.opcode
+        body: str
+        if op.is_load or op.is_prefetch:
+            addr = name(self.inst.uses[0])
+            mem = f"[{addr}]"
+            if self.inst.post_increment is not None:
+                mem += f",{self.inst.post_increment}"
+            if op.is_prefetch:
+                body = f"{op.mnemonic} {mem}"
+            else:
+                body = f"{op.mnemonic} {name(self.inst.defs[0])} = {mem}"
+        elif op.is_store:
+            addr = name(self.inst.uses[0])
+            value = name(self.inst.uses[1])
+            rhs = value
+            if self.inst.post_increment is not None:
+                rhs += f",{self.inst.post_increment}"
+            body = f"{op.mnemonic} [{addr}] = {rhs}"
+        else:
+            srcs = [name(u) for u in self.inst.uses]
+            if self.inst.imm is not None:
+                srcs.append(str(self.inst.imm))
+            dests = ", ".join(name(d) for d in self.inst.defs)
+            body = f"{op.mnemonic} {dests} = {', '.join(srcs)}" if dests else (
+                f"{op.mnemonic} {', '.join(srcs)}"
+            )
+        return f"(p{self.stage_pred}) {body}"
+
+
+@dataclass
+class Kernel:
+    """The software-pipelined kernel loop."""
+
+    loop_name: str
+    ii: int
+    stage_count: int
+    #: ``br.ctop`` for counted loops; ``br.wtop`` for while loops, whose
+    #: continuation predicate is computed inside the body (the pipeline
+    #: fills speculatively, Muthukumar et al. [18])
+    branch: str = "br.ctop"
+    ops: list[KernelOp] = field(default_factory=list)
+
+    def rows(self) -> list[list[KernelOp]]:
+        by_row: list[list[KernelOp]] = [[] for _ in range(self.ii)]
+        for op in self.ops:
+            by_row[op.row].append(op)
+        return by_row
+
+    def total_kernel_iterations(self, trips: int) -> int:
+        """Kernel iterations for ``trips`` source iterations (fill+drain).
+
+        "the kernel loop needs an additional number of iterations to fill
+        and drain the pipeline, and this number is exactly one less than
+        the number of stages" (Sec. 1.1).
+        """
+        if trips <= 0:
+            return 0
+        return trips + self.stage_count - 1
+
+    def format(self) -> str:
+        lines = [f"{self.loop_name}:  // II={self.ii}, {self.stage_count} stages"]
+        for row_no, row in enumerate(self.rows()):
+            for op in sorted(row, key=lambda o: o.inst.index):
+                lines.append(f"  {op.format():<44} // cycle {row_no}")
+        lines.append(
+            f"  {self.branch} " + self.loop_name + f" ;;  // cycle {self.ii - 1}"
+        )
+        return "\n".join(lines)
+
+
+def generate_kernel(
+    schedule: Schedule, allocation: RotatingAllocation
+) -> Kernel:
+    """Rename the scheduled loop into its rotating-register kernel form."""
+    ddg = schedule.ddg
+    ii = schedule.ii
+
+    # for each (consumer, reg): rotation distance from the definition
+    rotations: dict[tuple[int, Reg], int] = {}
+    for edge in ddg.edges:
+        if edge.kind is not DepKind.FLOW or edge.reg is None:
+            continue
+        if edge.reg not in allocation.blades:
+            continue
+        t_def = schedule.time_of(edge.src)
+        t_use = schedule.time_of(edge.dst) + ii * edge.omega
+        rot = t_use // ii - t_def // ii
+        key = (edge.dst.index, edge.reg)
+        rotations[key] = max(rotations.get(key, 0), rot)
+
+    kernel = Kernel(
+        loop_name=f"L_{schedule.loop.name}",
+        ii=ii,
+        stage_count=schedule.stage_count,
+        branch="br.ctop" if schedule.loop.counted else "br.wtop",
+    )
+    for inst in schedule.loop.body:
+        stage = schedule.stage_of(inst)
+        phys_defs = tuple(
+            (reg, allocation.physical_def(reg))
+            for reg in inst.all_defs()
+            if reg in allocation.blades
+        )
+        phys_uses = []
+        for reg in inst.all_uses():
+            if reg not in allocation.blades:
+                continue  # live-in: stays in a static register
+            rot = rotations.get((inst.index, reg), 0)
+            phys_uses.append((reg, allocation.physical_use(reg, rot)))
+        kernel.ops.append(
+            KernelOp(
+                inst=inst,
+                row=schedule.row_of(inst),
+                stage=stage,
+                stage_pred=ROTATING_PR_BASE + stage,
+                phys_defs=phys_defs,
+                phys_uses=tuple(phys_uses),
+            )
+        )
+    return kernel

@@ -1,0 +1,21 @@
+"""Register allocation for pipelined loops.
+
+Rotating registers carry the values that flow between pipeline stages
+(Sec. 1.1); non-rotating (static) registers hold loop invariants and
+live-out values.  When rotating demand exceeds the architectural supply,
+allocation *fails* and the pipeliner driver falls back — first to base
+load latencies at the same II, then to higher IIs (Sec. 3.3).
+"""
+
+from repro.regalloc.lifetimes import RegLifetime, compute_lifetimes
+from repro.regalloc.rotating import RotatingAllocation, allocate_rotating
+from repro.regalloc.nonrotating import StaticAllocation, allocate_static
+
+__all__ = [
+    "RegLifetime",
+    "compute_lifetimes",
+    "RotatingAllocation",
+    "allocate_rotating",
+    "StaticAllocation",
+    "allocate_static",
+]

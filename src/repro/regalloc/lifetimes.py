@@ -1,0 +1,80 @@
+"""Modulo lifetimes of loop-defined values.
+
+A value defined at schedule time ``t_def`` and last consumed at
+``t_use + II*omega`` crosses ``floor(end/II) - floor(t_def/II)`` kernel
+back-edges, i.e. that many register rotations.  Under rotating-register
+renaming it therefore occupies a *blade* of ``rotations + 1`` consecutive
+rotating registers (cf. the paper's Fig. 6, where the load with a
+three-iteration reach occupies ``r32``-``r35`` and its blade spans four
+registers).  Longer scheduled load latencies directly grow these spans —
+that is the register-pressure cost analysed in Sec. 2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ddg.edges import DepKind
+from repro.ir.instructions import Instruction
+from repro.ir.registers import Reg, RegClass
+from repro.pipeliner.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class RegLifetime:
+    """One virtual register's lifetime in the modulo schedule."""
+
+    reg: Reg
+    definer: Instruction
+    def_time: int
+    #: latest consumption time, folded across iterations (>= def_time)
+    end_time: int
+
+    @property
+    def rclass(self) -> RegClass:
+        return self.reg.rclass
+
+    @property
+    def length(self) -> int:
+        return self.end_time - self.def_time
+
+    def span(self, ii: int) -> int:
+        """Number of consecutive rotating registers the value occupies."""
+        return self.end_time // ii - self.def_time // ii + 1
+
+
+def is_self_recurrent(inst: Instruction, reg: Reg) -> bool:
+    """A register its own definer also reads (post-incremented addresses,
+    in-place accumulators).  Such values update one static register in
+    place each iteration and are *not* rotated — the paper's Fig. 6 keeps
+    the address register ``r5`` unrenamed."""
+    return reg in inst.all_uses()
+
+
+def compute_lifetimes(schedule: Schedule) -> list[RegLifetime]:
+    """Lifetimes of every rotated virtual register defined in the body.
+
+    Self-recurrent registers are excluded (they stay static); live-out
+    values are extended by one full kernel iteration so they survive into
+    the epilog.
+    """
+    ddg = schedule.ddg
+    loop = schedule.loop
+    ii = schedule.ii
+    lifetimes: list[RegLifetime] = []
+    for inst in loop.body:
+        t_def = schedule.time_of(inst)
+        for reg in inst.all_defs():
+            if not reg.virtual or is_self_recurrent(inst, reg):
+                continue
+            end = t_def
+            for edge in ddg.succs(inst):
+                if edge.kind is not DepKind.FLOW or edge.reg != reg:
+                    continue
+                end = max(end, schedule.time_of(edge.dst) + ii * edge.omega)
+            if reg in loop.live_out:
+                end = max(end, t_def + ii)
+            lifetimes.append(
+                RegLifetime(reg=reg, definer=inst, def_time=t_def, end_time=end)
+            )
+    return lifetimes

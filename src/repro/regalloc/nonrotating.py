@@ -1,0 +1,68 @@
+"""Static (non-rotating) register allocation and spill estimation.
+
+Loop invariants (live-in registers) and live-out values occupy static
+registers.  When demand exceeds the static supply, the surplus is spilled
+around the loop: each spill costs one store in the prolog and one load in
+the epilog — a one-time cost per loop execution (Sec. 2.2), plus register
+stack engine (RSE) traffic proportional to the number of stacked registers
+the loop's frame allocates (Sec. 4.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.registers import RegClass
+from repro.pipeliner.schedule import Schedule
+
+#: Static registers a loop can realistically use per class after the ABI
+#: reserves its share (sp, gp, return links, scratch conventions).
+STATIC_SUPPLY: dict[RegClass, int] = {
+    RegClass.GR: 20,
+    RegClass.FR: 24,
+    RegClass.PR: 14,
+}
+
+
+@dataclass
+class StaticAllocation:
+    """Static register demand, supply and resulting spill count."""
+
+    demand: dict[RegClass, int] = field(default_factory=dict)
+    supply: dict[RegClass, int] = field(default_factory=dict)
+    spills: int = 0
+    #: stacked registers the surrounding frame allocates (drives RSE cost)
+    stacked_frame: int = 0
+
+
+def allocate_static(
+    schedule: Schedule, rotating_used: dict[RegClass, int]
+) -> StaticAllocation:
+    """Count static demand from live-ins/outs and estimate spills."""
+    from repro.regalloc.lifetimes import is_self_recurrent
+
+    loop = schedule.loop
+    demand: dict[RegClass, int] = {rc: 0 for rc in STATIC_SUPPLY}
+    static_regs = set(loop.live_in) | set(loop.live_out)
+    # self-recurrent registers update a static register in place
+    for inst in loop.body:
+        for reg in inst.all_defs():
+            if reg.virtual and is_self_recurrent(inst, reg):
+                static_regs.add(reg)
+    for reg in static_regs:
+        if reg.rclass in demand:
+            demand[reg.rclass] += 1
+
+    spills = 0
+    for rclass, need in demand.items():
+        spills += max(0, need - STATIC_SUPPLY[rclass])
+
+    # The register stack frame covers static GRs plus the rotating GR area
+    # actually used; the RSE spills/fills these around calls (Sec. 4.5).
+    stacked = demand[RegClass.GR] + rotating_used.get(RegClass.GR, 0)
+    return StaticAllocation(
+        demand=demand,
+        supply=dict(STATIC_SUPPLY),
+        spills=spills,
+        stacked_frame=stacked,
+    )

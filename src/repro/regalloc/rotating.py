@@ -1,0 +1,105 @@
+"""Blades-style rotating register allocation (Sec. 3.3, citing Rau et al.).
+
+Every loop-defined value gets a contiguous *blade* of rotating registers
+whose length equals the number of kernel iterations the value stays live
+(its :meth:`~repro.regalloc.lifetimes.RegLifetime.span`).  Blades of
+distinct values are disjoint, so the per-class demand is the sum of spans.
+Stage predicates claim the first SC rotating predicates (``p16`` up), as in
+the paper's figures.
+
+"Sometimes, the compiler can successfully schedule a loop but fails in
+rotating register allocation because there are not enough registers
+available" — that failure is exactly what :func:`allocate_rotating`
+signals, triggering the driver's latency-reduction / II-increase ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RegisterAllocationError
+from repro.ir.registers import (
+    Reg,
+    RegClass,
+    ROTATING_FR_BASE,
+    ROTATING_GR_BASE,
+    ROTATING_PR_BASE,
+)
+from repro.machine.itanium2 import ItaniumMachine
+from repro.pipeliner.schedule import Schedule
+from repro.regalloc.lifetimes import RegLifetime, compute_lifetimes
+
+_ROTATING_BASES = {
+    RegClass.GR: ROTATING_GR_BASE,
+    RegClass.FR: ROTATING_FR_BASE,
+    RegClass.PR: ROTATING_PR_BASE,
+}
+
+
+@dataclass
+class RotatingAllocation:
+    """Result of rotating allocation for one scheduled loop."""
+
+    #: virtual reg -> (physical base register number at definition, span)
+    blades: dict[Reg, tuple[int, int]] = field(default_factory=dict)
+    #: rotating registers used per class (incl. stage predicates for PR)
+    used: dict[RegClass, int] = field(default_factory=dict)
+    capacity: dict[RegClass, int] = field(default_factory=dict)
+    stage_count: int = 0
+    lifetimes: list[RegLifetime] = field(default_factory=list)
+
+    def physical_def(self, reg: Reg) -> int:
+        """Register number written by the defining instruction."""
+        return self.blades[reg][0]
+
+    def physical_use(self, reg: Reg, rotations: int) -> int:
+        """Register number read ``rotations`` kernel iterations after def."""
+        base, span = self.blades[reg]
+        if rotations >= span:
+            raise RegisterAllocationError(
+                f"{reg} read {rotations} rotations after def, blade span {span}"
+            )
+        return base + rotations
+
+    def utilization(self, rclass: RegClass) -> float:
+        cap = self.capacity.get(rclass, 0)
+        return self.used.get(rclass, 0) / cap if cap else 0.0
+
+
+def allocate_rotating(
+    schedule: Schedule, machine: ItaniumMachine
+) -> RotatingAllocation:
+    """Assign rotating blades; raise when a class runs out of registers."""
+    lifetimes = compute_lifetimes(schedule)
+    ii = schedule.ii
+    sc = schedule.stage_count
+
+    alloc = RotatingAllocation(stage_count=sc, lifetimes=lifetimes)
+    cursors: dict[RegClass, int] = {
+        RegClass.GR: 0,
+        RegClass.FR: 0,
+        RegClass.PR: sc,  # stage predicates occupy the first SC slots
+    }
+
+    # blades in definition order keeps the layout readable and deterministic
+    for lt in sorted(lifetimes, key=lambda l: (l.def_time, l.definer.index)):
+        rclass = lt.rclass
+        if rclass not in cursors:
+            raise RegisterAllocationError(
+                f"cannot rotate register class {rclass}: {lt.reg}"
+            )
+        span = lt.span(ii)
+        offset = cursors[rclass]
+        cursors[rclass] = offset + span
+        alloc.blades[lt.reg] = (_ROTATING_BASES[rclass] + offset, span)
+
+    for rclass, cursor in cursors.items():
+        capacity = machine.rotating_capacity(rclass)
+        alloc.used[rclass] = cursor
+        alloc.capacity[rclass] = capacity
+        if cursor > capacity:
+            raise RegisterAllocationError(
+                f"loop {schedule.loop.name!r}: {rclass.name} rotating demand "
+                f"{cursor} exceeds capacity {capacity} (II={ii}, SC={sc})"
+            )
+    return alloc

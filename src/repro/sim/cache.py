@@ -1,0 +1,86 @@
+"""Set-associative LRU caches with prefetch ready-times.
+
+Each resident line remembers when its fill completes (``ready_time``), so
+a demand access that arrives before an in-flight prefetch finishes pays
+the *remaining* latency — modelling late prefetches instead of treating
+prefetched lines as magically present.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    name: str
+    size: int
+    line_size: int
+    associativity: int
+
+    def __post_init__(self) -> None:
+        if self.size % (self.line_size * self.associativity):
+            raise ValueError(f"{self.name}: size not divisible into sets")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size // (self.line_size * self.associativity)
+
+
+class Cache:
+    """One level of the hierarchy."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._sets: dict[int, OrderedDict[int, float]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, addr: int) -> tuple[int, int]:
+        line = addr // self.config.line_size
+        return line % self.config.num_sets, line
+
+    def lookup(self, addr: int, now: float) -> float | None:
+        """Extra delay if resident (0.0 for a settled line), else ``None``.
+
+        A hit refreshes LRU order.  A line still being filled returns the
+        remaining fill time.
+        """
+        set_idx, tag = self._locate(addr)
+        ways = self._sets.get(set_idx)
+        if ways is None or tag not in ways:
+            self.misses += 1
+            return None
+        ways.move_to_end(tag)
+        self.hits += 1
+        ready = ways[tag]
+        return max(0.0, ready - now)
+
+    def fill(self, addr: int, ready_time: float) -> None:
+        """Install a line (evicting LRU as needed)."""
+        set_idx, tag = self._locate(addr)
+        ways = self._sets.setdefault(set_idx, OrderedDict())
+        if tag in ways:
+            ways.move_to_end(tag)
+            ways[tag] = min(ways[tag], ready_time)
+            return
+        if len(ways) >= self.config.associativity:
+            ways.popitem(last=False)
+        ways[tag] = ready_time
+
+    def contains(self, addr: int) -> bool:
+        set_idx, tag = self._locate(addr)
+        ways = self._sets.get(set_idx)
+        return bool(ways) and tag in ways
+
+    def reset(self) -> None:
+        self._sets.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:
+        c = self.config
+        return f"Cache({c.name}: {c.size>>10}KB {c.associativity}-way)"

@@ -1,0 +1,250 @@
+"""The in-order core: executes a compiled loop cycle-accurately.
+
+Execution follows the kernel structure: in kernel iteration ``k`` the
+operation scheduled at (stage ``s``, row ``r``) executes for source
+iteration ``k - s`` at nominal cycle ``k*II + r``.  Dynamic behaviour on
+top of the static schedule:
+
+* **stall-on-use** — before an operation issues, every register operand
+  produced by a load is checked; if the producing load instance has not
+  completed, the whole pipeline stalls for the difference
+  (``BE_EXE_BUBBLE``).  Because loads already in flight keep being
+  serviced during the stall, clustering overlaps their latencies exactly
+  as analysed in Sec. 2.1;
+* **OzQ occupancy** — demand requests that go past L1 hold an OzQ entry
+  until completion; when all entries are busy, issue of the next memory
+  operation stalls (``BE_L1D_FPU_BUBBLE``).  Prefetches finding the queue
+  full are dropped, as hardware drops hints;
+* **TLB** — demand misses add the walk penalty; prefetches missing the
+  TLB are dropped.
+
+Non-pipelined loops run through the same machinery with ``II`` equal to
+the list-schedule length and a single stage.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ddg.edges import DepKind
+from repro.ir.instructions import Instruction
+from repro.pipeliner.driver import PipelineResult
+from repro.pipeliner.scheduler import list_schedule
+from repro.sim.address import LoopStreams
+from repro.sim.counters import PerfCounters
+from repro.sim.memory import MemorySystem
+
+
+@dataclass(frozen=True)
+class OpExec:
+    """Precompiled execution record for one loop-body operation."""
+
+    inst: Instruction
+    row: int
+    stage: int
+    #: diagnostic key for stall attribution
+    tag: str
+    #: (load slot index, omega) pairs this op's operands wait on
+    waits: tuple[tuple[int, int], ...]
+    #: slot in the per-iteration completion table (loads only, else -1)
+    load_slot: int
+    is_load: bool
+    is_store: bool
+    is_prefetch: bool
+    is_fp: bool
+    prefetch_distance: int
+    prefetch_l2_only: bool
+    ref_uid: int
+
+
+@dataclass
+class ExecutionSetup:
+    """Everything :func:`run_iterations` needs, precomputed once per loop."""
+
+    ops: list[OpExec]
+    ii: int
+    stage_count: int
+    num_loads: int
+    loop_name: str = ""
+    pipelined: bool = True
+
+
+def prepare_execution(result: PipelineResult, machine) -> ExecutionSetup:
+    """Lower a pipeline (or fallback) result into an execution setup."""
+    if result.pipelined and result.schedule is not None:
+        times = result.schedule.times
+        ii = result.schedule.ii
+    else:
+        times = list_schedule(result.ddg, machine)
+        ii = result.seq_length
+    return _build_setup(result, times, ii)
+
+
+def _build_setup(
+    result: PipelineResult, times: dict[Instruction, int], ii: int
+) -> ExecutionSetup:
+    ddg = result.ddg
+    loop = result.loop
+
+    load_slot: dict[int, int] = {}
+    for slot, load in enumerate(loop.loads):
+        load_slot[load.index] = slot
+
+    # operand waits: flow edges whose source is a load's data result
+    waits: dict[int, set[tuple[int, int]]] = {}
+    for edge in ddg.edges:
+        if edge.kind is not DepKind.FLOW or not edge.src.is_load:
+            continue
+        if edge.reg not in edge.src.defs:
+            continue  # post-increment address result, not load data
+        waits.setdefault(edge.dst.index, set()).add(
+            (load_slot[edge.src.index], edge.omega)
+        )
+
+    ops: list[OpExec] = []
+    for inst in loop.body:
+        t = times[inst]
+        ref = inst.memref
+        ops.append(
+            OpExec(
+                inst=inst,
+                row=t % ii,
+                stage=t // ii,
+                tag=f"{loop.name}#{inst.index}:{inst.mnemonic}",
+                waits=tuple(sorted(waits.get(inst.index, ()))),
+                load_slot=load_slot.get(inst.index, -1),
+                is_load=inst.is_load,
+                is_store=inst.is_store,
+                is_prefetch=inst.is_prefetch,
+                is_fp=bool(ref.is_fp) if ref is not None else inst.is_fp,
+                prefetch_distance=ref.prefetch_distance if ref is not None else 0,
+                prefetch_l2_only=bool(ref.prefetch_l2_only) if ref is not None else False,
+                ref_uid=ref.uid if ref is not None else -1,
+            )
+        )
+    ops.sort(key=lambda o: (o.row, o.inst.index))
+    stage_count = max(o.stage for o in ops) + 1 if ops else 1
+    return ExecutionSetup(
+        ops=ops,
+        ii=ii,
+        stage_count=stage_count,
+        num_loads=len(loop.loads),
+        loop_name=loop.name,
+        pipelined=result.pipelined,
+    )
+
+
+def run_iterations(
+    setup: ExecutionSetup,
+    streams: LoopStreams,
+    stream_base: int,
+    n: int,
+    memory: MemorySystem,
+    ozq_capacity: int,
+    counters: PerfCounters,
+    start_cycle: float = 0.0,
+) -> float:
+    """Execute ``n`` source iterations; returns the finish cycle.
+
+    ``stream_base`` indexes the address streams for this invocation's
+    first iteration (streams are shared across invocations).
+    """
+    if n <= 0:
+        return start_cycle
+    ii = setup.ii
+    ops = setup.ops
+    kernel_iters = n + setup.stage_count - 1
+
+    completions = [np.full(n, -np.inf) for _ in range(setup.num_loads)]
+    ozq: list[float] = []  # completion-time heap of in-flight requests
+    stall = 0.0
+    # L2D_OZQ_FULL tracking: integral of wall-clock time the queue sits at
+    # capacity (the hardware counter's semantics, Sec. 4.5)
+    became_full_at: float | None = None
+
+    def drain(now: float) -> None:
+        nonlocal became_full_at
+        while ozq and ozq[0] <= now:
+            t = heapq.heappop(ozq)
+            if became_full_at is not None and len(ozq) == ozq_capacity - 1:
+                counters.ozq_full_cycles += max(0.0, t - became_full_at)
+                became_full_at = None
+
+    def push(completion: float, now: float) -> None:
+        nonlocal became_full_at
+        heapq.heappush(ozq, completion)
+        if len(ozq) >= ozq_capacity and became_full_at is None:
+            became_full_at = now
+
+    streams_by_uid = streams.by_ref
+
+    for k in range(kernel_iters):
+        base = start_cycle + k * ii
+        for op in ops:
+            i = k - op.stage
+            if i < 0 or i >= n:
+                continue
+            now = base + op.row + stall
+
+            # stall-on-use: wait for load-produced operands
+            for slot, omega in op.waits:
+                j = i - omega
+                if j < 0:
+                    continue
+                ready = completions[slot][j]
+                if ready > now:
+                    wait = ready - now
+                    stall += wait
+                    now += wait
+                    counters.be_exe_bubble += wait
+                    counters.attribute_stall(op.tag, wait)
+
+            if op.ref_uid < 0:
+                continue  # pure register op: issue costs are in the schedule
+
+            # free completed OzQ entries
+            drain(now)
+
+            stream = streams_by_uid[op.ref_uid]
+            if op.is_prefetch:
+                pos = stream_base + i + op.prefetch_distance
+                if pos >= len(stream):
+                    continue
+                if len(ozq) >= ozq_capacity:
+                    # hardware drops hints when the queue is full
+                    counters.prefetches_dropped_ozq += 1
+                    continue
+                res = memory.prefetch(
+                    int(stream[pos]), now, op.prefetch_l2_only, op.is_fp
+                )
+                counters.prefetches_issued += 1
+                if res.occupies_ozq:
+                    push(now + res.latency, now)
+                continue
+
+            # demand access: stall while the OzQ is full
+            if len(ozq) >= ozq_capacity:
+                wait = ozq[0] - now
+                if wait > 0:
+                    stall += wait
+                    now += wait
+                    counters.be_l1d_fpu_bubble += wait
+                drain(now)
+
+            addr = int(stream[stream_base + i])
+            if op.is_load:
+                res = memory.load(addr, now, op.is_fp)
+                completions[op.load_slot][i] = now + res.latency
+                counters.record_load_level(res.level)
+            else:
+                res = memory.store(addr, now, op.is_fp)
+            if res.occupies_ozq:
+                push(now + res.latency, now)
+
+    counters.unstalled += kernel_iters * ii
+    counters.kernel_iterations += kernel_iters
+    counters.source_iterations += n
+    return start_cycle + kernel_iters * ii + stall

@@ -1,0 +1,199 @@
+"""Whole-loop simulation across invocations.
+
+Adds the per-invocation fixed costs around the kernel (Sec. 2.2/4.5):
+
+* prolog/epilog spill and fill instructions from static register pressure;
+* register stack engine (RSE) traffic proportional to the stacked frame —
+  "a side effect of the increased number of allocated stacked registers,
+  which are automatically spilled and filled by this hardware engine";
+* a pipeline flush at loop exit (the back-edge misprediction) and a small
+  front-end refill.
+
+Cache and TLB state persist across invocations of the same loop, so
+short-trip loops with temporal reuse (the h264ref/gobmk scenarios) run
+warm, exactly the situation where boosting latencies buys nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine.itanium2 import ItaniumMachine
+from repro.pipeliner.driver import PipelineResult
+from repro.sim.address import AddressMap, LoopStreams, StreamSpec, build_streams
+from repro.sim.core import ExecutionSetup, prepare_execution, run_iterations
+from repro.sim.counters import PerfCounters
+from repro.sim.memory import MemorySystem
+
+#: cycles of RSE activity per stacked register per invocation
+RSE_CYCLES_PER_REG = 0.20
+#: pipeline flush on loop exit (back-edge misprediction)
+FLUSH_CYCLES = 8.0
+#: front-end refill after the flush
+FRONTEND_CYCLES = 4.0
+#: cycles per spill/fill instruction pair in prolog/epilog
+SPILL_CYCLES = 3.0
+
+
+@dataclass
+class LoopRunResult:
+    """Aggregate outcome of simulating one loop workload."""
+
+    loop_name: str
+    cycles: float
+    counters: PerfCounters
+    invocations: int
+    total_iterations: int
+
+    @property
+    def cycles_per_iteration(self) -> float:
+        return self.cycles / max(1, self.total_iterations)
+
+
+def simulate_loop(
+    result: PipelineResult,
+    machine: ItaniumMachine,
+    layout: dict[str, StreamSpec],
+    trip_counts: list[int] | np.ndarray,
+    memory: MemorySystem | None = None,
+    seed: int = 11,
+    address_map: AddressMap | None = None,
+    counters: PerfCounters | None = None,
+) -> LoopRunResult:
+    """Run a compiled loop for the given per-invocation trip counts."""
+    counters = counters if counters is not None else PerfCounters()
+    memory = memory or MemorySystem(machine.timings)
+    setup = prepare_execution(result, machine)
+
+    trips = [int(t) for t in trip_counts]
+    total_iters = sum(trips)
+    reuse_spaces = {s for s, spec in layout.items() if spec.reuse}
+    # streams for reused spaces are indexed from 0 each invocation, so the
+    # array only needs max(trips); streaming spaces need the running total
+    max_trips = max(trips) if trips else 0
+    stream_len = max(total_iters, max_trips)
+    streams = build_streams(
+        result.loop,
+        layout,
+        stream_len,
+        seed=seed,
+        address_map=address_map,
+    )
+    # split shared stream table into reuse (restarting) vs streaming refs
+    restart_uids = {
+        uid
+        for inst in result.loop.body
+        if inst.memref is not None
+        for uid in [inst.memref.uid]
+        if inst.memref.space in reuse_spaces
+    }
+
+    _prewarm_resident_regions(result, layout, streams, memory)
+
+    spills = result.static.spills if result.static is not None else 0
+    stacked = result.static.stacked_frame if result.static is not None else 8
+
+    cycle = 0.0
+    running_base = 0
+    for n in trips:
+        # per-invocation fixed costs
+        overhead = 0.0
+        if spills:
+            overhead += spills * SPILL_CYCLES
+            counters.spill_instructions += 2 * spills
+        rse = stacked * RSE_CYCLES_PER_REG
+        counters.be_rse_bubble += rse
+        counters.be_flush_bubble += FLUSH_CYCLES
+        counters.back_end_bubble_fe += FRONTEND_CYCLES
+        counters.unstalled += overhead
+        cycle += overhead + rse + FLUSH_CYCLES + FRONTEND_CYCLES
+
+        cycle = _run_invocation(
+            setup,
+            streams,
+            restart_uids,
+            running_base,
+            n,
+            memory,
+            machine.ozq_capacity,
+            counters,
+            cycle,
+        )
+        running_base += n
+        counters.invocations += 1
+
+    return LoopRunResult(
+        loop_name=result.loop.name,
+        cycles=cycle,
+        counters=counters,
+        invocations=len(trips),
+        total_iterations=total_iters,
+    )
+
+
+def _prewarm_resident_regions(
+    result: PipelineResult,
+    layout: dict[str, StreamSpec],
+    streams: LoopStreams,
+    memory: MemorySystem,
+    max_lines: int = 250_000,
+) -> None:
+    """Pre-touch reused regions so they start cache-resident.
+
+    Spaces with ``reuse=True`` model data the program revisits across
+    invocations (lookup tables, small blocks, board state); in steady
+    state those are warm, and measuring their one-time cold fill would
+    swamp the per-iteration behaviour the experiments compare.  Streaming
+    spaces (``reuse=False``) stay cold, as in reality.
+    """
+    line = memory.l2.config.line_size
+    seen: set[int] = set()
+    for inst in result.loop.body:
+        ref = inst.memref
+        if ref is None:
+            continue
+        spec = layout.get(ref.space)
+        if spec is None or not spec.reuse:
+            continue
+        stream = streams.by_ref.get(ref.uid)
+        if stream is None:
+            continue
+        for addr in np.unique(stream // line):
+            if addr in seen or len(seen) >= max_lines:
+                continue
+            seen.add(int(addr))
+            memory.load(int(addr) * line, now=-1e9, is_fp=ref.is_fp)
+
+
+def _run_invocation(
+    setup: ExecutionSetup,
+    streams: LoopStreams,
+    restart_uids: set[int],
+    running_base: int,
+    n: int,
+    memory: MemorySystem,
+    ozq_capacity: int,
+    counters: PerfCounters,
+    cycle: float,
+) -> float:
+    """One invocation; restarting spaces read from stream position 0."""
+    if not restart_uids:
+        return run_iterations(
+            setup, streams, running_base, n, memory, ozq_capacity, counters, cycle
+        )
+    if len(restart_uids) == len(streams.by_ref):
+        return run_iterations(
+            setup, streams, 0, n, memory, ozq_capacity, counters, cycle
+        )
+    # mixed: give restarting refs a view shifted to the invocation start
+    mixed = LoopStreams(lookahead=streams.lookahead)
+    for uid, arr in streams.by_ref.items():
+        if uid in restart_uids:
+            mixed.by_ref[uid] = arr
+        else:
+            mixed.by_ref[uid] = arr[running_base:]
+    return run_iterations(
+        setup, mixed, 0, n, memory, ozq_capacity, counters, cycle
+    )

@@ -1,0 +1,48 @@
+"""Training vs reference input configurations.
+
+SPEC benchmarks are compiled with profiles from *training* inputs and
+measured on *reference* inputs.  A :class:`DataSet` pairs the two trip
+distributions; mismatches between them reproduce the paper's 177.mesa
+pathology ("an average trip count of 154 in the training sets, it becomes
+a short-trip-count loop in the reference input sets with 8 iterations on
+an average", Sec. 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hlo.profiles import TripDistribution
+
+
+@dataclass(frozen=True)
+class DataSet:
+    """Train/ref trip behaviour for one loop workload."""
+
+    train: TripDistribution
+    ref: TripDistribution
+
+    @staticmethod
+    def steady(trips: float) -> "DataSet":
+        """Same constant trip count in training and reference runs."""
+        dist = TripDistribution(kind="constant", mean=trips)
+        return DataSet(train=dist, ref=dist)
+
+    @staticmethod
+    def mismatch(train_trips: float, ref_trips: float) -> "DataSet":
+        """Different behaviour between train and ref (the mesa case)."""
+        return DataSet(
+            train=TripDistribution(kind="constant", mean=train_trips),
+            ref=TripDistribution(kind="constant", mean=ref_trips),
+        )
+
+    @staticmethod
+    def variable(low: int, high: int) -> "DataSet":
+        """Uniformly varying trip counts (high variance, Sec. 3.1)."""
+        dist = TripDistribution(kind="uniform", low=low, high=high)
+        return DataSet(train=dist, ref=dist)
+
+    @staticmethod
+    def bimodal(low: int, high: int, p_low: float = 0.5) -> "DataSet":
+        dist = TripDistribution(kind="bimodal", low=low, high=high, p_low=p_low)
+        return DataSet(train=dist, ref=dist)

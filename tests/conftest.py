@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CompilerConfig, HintPolicy, baseline_config
+from repro.ir import parse_loop
+from repro.machine import ItaniumMachine
+
+#: The paper's running example (Fig. 1): load, add, store with
+#: post-incremented addresses and no cross-iteration flow except the
+#: induction variables.
+RUNNING_EXAMPLE = """
+memref A affine stride=4 space=a
+memref B affine stride=4 space=b
+loop copy_add trips=200 source=pgo
+  ld4 r4 = [r5], 4 !A
+  add r7 = r4, r9
+  st4 [r6] = r7, 4 !B
+"""
+
+
+@pytest.fixture
+def machine() -> ItaniumMachine:
+    return ItaniumMachine()
+
+
+@pytest.fixture
+def running_example():
+    return parse_loop(RUNNING_EXAMPLE)
+
+
+@pytest.fixture
+def base_config() -> CompilerConfig:
+    return baseline_config()
+
+
+@pytest.fixture
+def hlo_config() -> CompilerConfig:
+    return CompilerConfig(hint_policy=HintPolicy.HLO, trip_count_threshold=32)
+
+
+@pytest.fixture
+def boost_all_config() -> CompilerConfig:
+    """All loads at L3 latency, no trip-count gate (headroom setting)."""
+    return CompilerConfig(
+        hint_policy=HintPolicy.ALL_LOADS_L3, trip_count_threshold=0
+    )

@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_size, parse_space
+
+LOOP_TEXT = """
+memref A affine stride=4 space=a
+memref B affine stride=4 space=b
+loop copy_add trips=200 source=pgo
+  ld4 r4 = [r5], 4 !A
+  add r7 = r4, r9
+  st4 [r6] = r7, 4 !B
+"""
+
+
+@pytest.fixture
+def loop_file(tmp_path):
+    path = tmp_path / "loop.s"
+    path.write_text(LOOP_TEXT)
+    return str(path)
+
+
+class TestParsers:
+    def test_parse_size(self):
+        assert parse_size("1024") == 1024
+        assert parse_size("64K") == 64 * 1024
+        assert parse_size("2m") == 2 << 20
+        assert parse_size("1G") == 1 << 30
+        assert parse_size("1.5M") == int(1.5 * (1 << 20))
+
+    def test_parse_space(self):
+        name, spec = parse_space("a=64M")
+        assert name == "a" and spec.size == 64 << 20 and spec.reuse
+        name, spec = parse_space("b=8K:stream")
+        assert name == "b" and not spec.reuse
+
+    def test_parse_space_malformed(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_space("nonsense")
+
+
+class TestCompileCommand:
+    def test_compile_prints_kernel(self, loop_file, capsys):
+        assert main(["compile", loop_file]) == 0
+        out = capsys.readouterr().out
+        assert "pipelined" in out
+        assert "br.ctop" in out
+        assert "(p16)" in out
+
+    def test_compile_verbose(self, loop_file, capsys):
+        assert main(["compile", loop_file, "-v", "--policy", "all-loads-l3",
+                     "-n", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "boosted=True" in out
+
+    def test_compile_baseline_policy(self, loop_file, capsys):
+        assert main(["compile", loop_file, "--policy", "baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "boosted 0/1" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["compile", "/nonexistent/loop.s"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestSimulateCommand:
+    def test_simulate(self, loop_file, capsys):
+        rc = main([
+            "simulate", loop_file, "--trips", "200", "--invocations", "2",
+            "--space", "a=1M", "--space", "b=1M",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cycles:" in out
+        assert "loads by level" in out
+
+    def test_simulate_missing_space(self, loop_file, capsys):
+        rc = main(["simulate", loop_file, "--space", "a=1M"])
+        assert rc == 2
+        assert "no --space" in capsys.readouterr().err
+
+
+class TestExperimentCommand:
+    def test_single_benchmark(self, capsys):
+        rc = main([
+            "experiment", "--suite", "cpu2006",
+            "--benchmark", "464.h264ref",
+            "--policy", "all-loads-l3", "-n", "0",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "464.h264ref" in out and "Geomean" in out
+
+    def test_unknown_benchmark(self, capsys):
+        rc = main(["experiment", "--benchmark", "999.bogus"])
+        assert rc == 2
+
+
+class TestFig5Command:
+    def test_fig5(self, capsys):
+        assert main(["fig5", "--max-k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "100.0%" in out
+        assert out.strip().splitlines()[-1].startswith("4")

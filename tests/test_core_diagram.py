@@ -1,0 +1,71 @@
+"""Tests for the Fig. 2 / Fig. 4 pipeline diagrams."""
+
+import pytest
+
+from repro.config import CompilerConfig, baseline_config
+from repro.core.diagram import pipeline_diagram, stage_table
+from repro.ir.memref import LatencyHint
+from repro.machine.hints import HintTranslation
+from repro.pipeliner import pipeline_loop
+
+
+class TestFig2Diagram:
+    def test_baseline_diagram_shape(self, running_example, machine):
+        """Fig. 2: three instructions from three successive source
+        iterations execute in each steady-state cycle."""
+        result = pipeline_loop(running_example, machine, baseline_config())
+        text = pipeline_diagram(result.schedule, iterations=5)
+        lines = text.splitlines()
+        assert lines[0].startswith("Cycle |")
+        # cycle 2 (steady state) holds st4, add, ld4 across three columns
+        steady = lines[2 + 2]
+        assert "st4" in steady and "add" in steady and "ld4" in steady
+        # cycle 0 holds only the first load
+        first = lines[2]
+        assert first.count("ld4") == 1 and "add" not in first
+
+    def test_fig4_latency_buffer_gap(self, running_example, machine):
+        """Fig. 4: with a three-cycle load latency the add trails its
+        load by three cycles — two empty buffer rows in the column."""
+        machine3 = machine.with_translation(HintTranslation(name="d2", l2=3))
+        running_example.body[0].memref.hint = LatencyHint.L2
+        result = pipeline_loop(
+            running_example, machine3, CompilerConfig(trip_count_threshold=0)
+        )
+        text = pipeline_diagram(result.schedule, iterations=5)
+        header, _, *lines = text.splitlines()
+        cells = header.split("|", 1)[1]
+        width = cells.index("2") - cells.index("1")
+
+        # column 1: ld4 at cycle 0, add at cycle 3 (paper's Fig. 4 layout)
+        def col1(line):
+            return line.split("|", 1)[1][:width]
+
+        assert "ld4" in col1(lines[0])
+        assert col1(lines[1]).strip() == ""
+        assert col1(lines[2]).strip() == ""
+        assert "add" in col1(lines[3])
+
+    def test_cycle_cap(self, running_example, machine):
+        result = pipeline_loop(running_example, machine, baseline_config())
+        text = pipeline_diagram(result.schedule, iterations=8, max_cycles=4)
+        assert len(text.splitlines()) == 2 + 4
+
+
+class TestStageTable:
+    def test_baseline_stages(self, running_example, machine):
+        result = pipeline_loop(running_example, machine, baseline_config())
+        text = stage_table(result.schedule)
+        assert "3 stages at II=1" in text
+        assert "stage 0: ld4" in text
+        assert "stage 2: st4" in text
+
+    def test_latency_buffer_stages_shown(self, running_example, machine):
+        machine3 = machine.with_translation(HintTranslation(name="d2", l2=3))
+        running_example.body[0].memref.hint = LatencyHint.L2
+        result = pipeline_loop(
+            running_example, machine3, CompilerConfig(trip_count_threshold=0)
+        )
+        text = stage_table(result.schedule)
+        assert "5 stages" in text
+        assert text.count("(latency buffer)") == 2

@@ -1,0 +1,96 @@
+"""Tests for the Sec. 2.1 theory module (Equations (1)-(3), Fig. 5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.theory import (
+    additional_latency_for_clustering,
+    clustering_factor,
+    coverage_ratio,
+    expected_stall_cycles,
+    fig5_series,
+    stall_reduction_percent,
+)
+
+
+class TestEquations:
+    def test_equation1_coverage(self):
+        assert coverage_ratio(0, 13) == 0.0
+        assert coverage_ratio(13, 13) == 1.0
+        assert coverage_ratio(26, 13) == 1.0  # clipped
+        assert coverage_ratio(2, 13) == pytest.approx(2 / 13)
+        assert coverage_ratio(5, 0) == 1.0
+
+    def test_equation2_known_points(self):
+        # full coverage removes all stalls
+        assert stall_reduction_percent(1.0, 1) == 100.0
+        # no coverage, no clustering: nothing gained
+        assert stall_reduction_percent(0.0, 1) == 0.0
+        # the paper's example: clustering factor 3 alone gives two-thirds
+        assert stall_reduction_percent(0.0, 3) == pytest.approx(100 * 2 / 3)
+        assert stall_reduction_percent(0.5, 2) == pytest.approx(75.0)
+
+    def test_equation3(self):
+        assert additional_latency_for_clustering(3, 1) == 2  # paper's Fig. 4
+        assert additional_latency_for_clustering(1, 5) == 0
+        assert additional_latency_for_clustering(6, 2) == 10
+
+    def test_equation3_inverse(self):
+        assert clustering_factor(2, 1) == 3
+        assert clustering_factor(0, 4) == 1
+        assert clustering_factor(10, 2) == 6
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            stall_reduction_percent(0.5, 0)
+        with pytest.raises(ValueError):
+            clustering_factor(1, 0)
+        with pytest.raises(ValueError):
+            additional_latency_for_clustering(0, 1)
+
+    def test_expected_stall_cycles(self):
+        # n=100, L=13, d=2, II=1 -> k=3 -> 100*11/3
+        assert expected_stall_cycles(100, 13, 2, 1) == pytest.approx(
+            100 * 11 / 3
+        )
+
+
+class TestFig5:
+    def test_series_structure(self):
+        series = fig5_series()
+        assert set(series) == {1.0, 0.5, 0.1, 0.01}
+        for curve in series.values():
+            assert [k for k, _ in curve] == list(range(1, 9))
+
+    def test_paper_anchor_points(self):
+        series = fig5_series()
+        # c=1: always 100%
+        assert all(v == 100.0 for _, v in series[1.0])
+        # c=0.01, k=3: about two-thirds
+        by_k = dict(series[0.01])
+        assert by_k[3] == pytest.approx(67.0, abs=0.5)
+        # c=0.5, k=1: exactly 50%
+        assert dict(series[0.5])[1] == 50.0
+
+
+class TestProperties:
+    @given(st.floats(0, 1), st.integers(1, 64))
+    def test_reduction_bounds(self, c, k):
+        r = stall_reduction_percent(c, k)
+        assert 0.0 <= r <= 100.0
+
+    @given(st.floats(0, 1), st.integers(1, 32))
+    def test_monotone_in_k(self, c, k):
+        assert stall_reduction_percent(c, k + 1) >= stall_reduction_percent(c, k)
+
+    @given(st.floats(0, 0.99), st.integers(1, 32))
+    def test_monotone_in_coverage(self, c, k):
+        assert (
+            stall_reduction_percent(min(1.0, c + 0.01), k)
+            >= stall_reduction_percent(c, k)
+        )
+
+    @given(st.integers(1, 40), st.integers(1, 16))
+    def test_equation3_roundtrip(self, k, ii):
+        d = additional_latency_for_clustering(k, ii)
+        assert clustering_factor(d, ii) == k

@@ -1,0 +1,163 @@
+"""Tests for recurrence-cycle enumeration and Recurrence II.
+
+The enumerative RecII (the form the paper's criticality analysis uses) is
+cross-checked against the independent binary-search/Floyd-Warshall
+implementation, including on randomly generated loops (hypothesis).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ddg import (
+    build_ddg,
+    enumerate_recurrence_cycles,
+    recurrence_ii,
+    recurrence_ii_search,
+)
+from repro.ddg.cycles import always_expected
+from repro.errors import DependenceError
+from repro.ir import LoopBuilder, parse_loop
+from repro.ir.memref import AccessPattern, LatencyHint
+from repro.machine import ItaniumMachine
+
+
+@pytest.fixture
+def query(machine):
+    return machine.latency_query
+
+
+class TestCycleEnumeration:
+    def test_running_example_cycles(self, running_example, query):
+        ddg = build_ddg(running_example)
+        cycles = enumerate_recurrence_cycles(ddg)
+        # the two post-increment self-recurrences
+        assert len(cycles) == 2
+        assert all(c.total_omega == 1 for c in cycles)
+        assert all(len(c.edges) == 1 for c in cycles)
+
+    def test_cycle_loads(self):
+        b = LoopBuilder()
+        node = b.live_greg("node")
+        ref = b.memref("n", pattern=AccessPattern.POINTER_CHASE, size=8)
+        b.load_into("ld8", node, node, ref)
+        ddg = build_ddg(b.build("chase"))
+        cycles = [c for c in enumerate_recurrence_cycles(ddg)
+                  if c.loads]
+        assert len(cycles) == 1
+        assert cycles[0].loads[0].is_load
+
+    def test_multi_node_cycle(self, query):
+        """x -> y -> x with a loop-carried back edge."""
+        b = LoopBuilder()
+        x = b.live_greg("x")
+        y = b.alu_imm("adds", x, 1)
+        b.alu_into("add", x, y)
+        ddg = build_ddg(b.build("two"))
+        cycles = enumerate_recurrence_cycles(ddg)
+        two_node = [c for c in cycles if len(c.edges) == 2]
+        assert len(two_node) == 1
+        assert two_node[0].length(query) == 2
+        assert two_node[0].ii_bound(query) == 2
+
+
+class TestRecurrenceII:
+    def test_running_example(self, running_example, query):
+        ddg = build_ddg(running_example)
+        assert recurrence_ii(ddg, query) == 1
+        assert recurrence_ii_search(ddg, query) == 1
+
+    def test_fp_accumulator_pins_rec_ii(self, query):
+        b = LoopBuilder()
+        acc = b.live_freg("acc")
+        x = b.load("ldfd", b.live_greg("p"),
+                   b.memref("a", size=8, is_fp=True), post_inc=8)
+        b.alu_into("fadd", acc, acc, x)
+        ddg = build_ddg(b.build("red"))
+        # fadd latency 4, distance 1
+        assert recurrence_ii(ddg, query) == 4
+        assert recurrence_ii_search(ddg, query) == 4
+
+    def test_expected_latency_raises_cycle_bound(self, machine, query):
+        b = LoopBuilder()
+        node = b.live_greg("node")
+        ref = b.memref("n", pattern=AccessPattern.POINTER_CHASE, size=8)
+        ref.hint = LatencyHint.L3
+        b.load_into("ld8", node, node, ref)
+        ddg = build_ddg(b.build("chase"))
+        assert recurrence_ii(ddg, query) == 1  # base latency
+        boosted = recurrence_ii(ddg, query, always_expected)
+        assert boosted == 21  # typical L3 scheduling latency
+
+    def test_acyclic_graph_has_zero_rec_ii(self, query):
+        loop = parse_loop(
+            """
+            memref A affine stride=4
+            loop ac
+              ld4 r1 = [r2] !A
+              add r3 = r1, r9
+            """
+        )
+        ddg = build_ddg(loop)
+        assert recurrence_ii(ddg, query) == 0
+        assert recurrence_ii_search(ddg, query) == 0
+
+    def test_zero_distance_cycle_detected(self):
+        """A combinational cycle (omega 0) is a malformed DDG."""
+        from repro.ddg.edges import DepEdge, DepKind
+        from repro.ddg.graph import DDG
+        from repro.ir.instructions import Instruction
+        from repro.ir.opcodes import opcode
+        from repro.ir.registers import greg
+        from repro.ir.loop import Loop
+
+        a = Instruction(opcode("add"), defs=(greg(1),), uses=(greg(2),))
+        b_ = Instruction(opcode("add"), defs=(greg(2),), uses=(greg(1),))
+        loop = Loop(name="bad", body=[a, b_])
+        ddg = DDG(loop)
+        ddg.add_edge(DepEdge(a, b_, DepKind.FLOW, 0, reg=greg(1)))
+        ddg.add_edge(DepEdge(b_, a, DepKind.FLOW, 0, reg=greg(2)))
+        with pytest.raises(DependenceError):
+            enumerate_recurrence_cycles(ddg)
+
+
+def _random_loop(draw_ops):
+    """Build a loop from a generated op list (always well-formed)."""
+    b = LoopBuilder()
+    acc = b.live_greg("acc")
+    values = [acc]
+    ref = b.memref("a", stride=4)
+    addr = b.live_greg("pa")
+    for kind in draw_ops:
+        if kind == 0:
+            values.append(b.load("ld4", addr, ref, post_inc=4))
+        elif kind == 1 and values:
+            values.append(b.alu_imm("adds", values[-1], 1))
+        else:
+            src = values[len(values) // 2]
+            b.alu_into("add", acc, acc, src)
+            break
+    return b.build("rand", validate=False)
+
+
+class TestCrossCheck:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, 2), min_size=1, max_size=12))
+    def test_enumerative_matches_search(self, ops):
+        machine = ItaniumMachine()
+        loop = _random_loop(ops)
+        ddg = build_ddg(loop)
+        enum = recurrence_ii(ddg, machine.latency_query)
+        search = recurrence_ii_search(ddg, machine.latency_query)
+        assert enum == search
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 2), min_size=1, max_size=12))
+    def test_expected_never_below_base(self, ops):
+        machine = ItaniumMachine()
+        loop = _random_loop(ops)
+        for ld in loop.loads:
+            ld.memref.hint = LatencyHint.L2
+        ddg = build_ddg(loop)
+        base = recurrence_ii(ddg, machine.latency_query)
+        boosted = recurrence_ii(ddg, machine.latency_query, always_expected)
+        assert boosted >= base

@@ -1,0 +1,146 @@
+"""Tests for the affine dependence test and its DDG integration."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ddg import build_ddg
+from repro.ddg.dependence import DependenceVerdict
+from repro.ddg.dependence import test_dependence as dep_test
+from repro.ddg.edges import DepKind
+from repro.ir import LoopBuilder
+from repro.ir.memref import AccessPattern, MemRef
+
+
+def _ref(offset=0, stride=4, space="s", pattern=AccessPattern.AFFINE):
+    return MemRef("r", pattern=pattern, stride=stride, offset=offset,
+                  space=space)
+
+
+class TestDependenceTest:
+    def test_different_spaces_independent(self):
+        assert dep_test(_ref(space="a"), _ref(space="b")).independent
+
+    def test_same_ref_same_iteration(self):
+        r = dep_test(_ref(0), _ref(0))
+        assert r.verdict is DependenceVerdict.DISTANCE
+        assert r.distance == 0
+
+    def test_positive_distance(self):
+        # A at offset 8, B at offset 0, stride 4: A(i) hits B(i+2)
+        r = dep_test(_ref(8), _ref(0))
+        assert r.verdict is DependenceVerdict.DISTANCE
+        assert r.distance == 2
+
+    def test_negative_distance(self):
+        r = dep_test(_ref(0), _ref(8))
+        assert r.distance == -2
+
+    def test_gcd_independent(self):
+        # offsets differ by 2, stride 4: never meet
+        assert dep_test(_ref(2), _ref(0)).independent
+
+    def test_unanalysable_patterns(self):
+        chase = _ref(pattern=AccessPattern.POINTER_CHASE)
+        assert (
+            dep_test(chase, _ref()).verdict
+            is DependenceVerdict.UNKNOWN
+        )
+
+    def test_different_strides_gcd(self):
+        a = _ref(offset=0, stride=4)
+        b = _ref(offset=2, stride=8)
+        # gcd(4,8)=4 does not divide 2 -> independent
+        assert dep_test(a, b).independent
+        c = _ref(offset=4, stride=8)
+        assert (
+            dep_test(a, c).verdict is DependenceVerdict.UNKNOWN
+        )
+
+    def test_zero_stride_pairs(self):
+        a = _ref(offset=0, stride=0)
+        b = _ref(offset=0, stride=0)
+        assert dep_test(a, b).distance == 0
+        c = _ref(offset=8, stride=0)
+        assert dep_test(a, c).independent
+
+    @given(st.integers(-16, 16), st.integers(1, 8))
+    def test_distance_antisymmetry(self, delta, stride_elems):
+        stride = 4 * stride_elems
+        a, b = _ref(offset=delta * 4), _ref(offset=0)
+        ra, rb = dep_test(a, b), dep_test(b, a)
+        if ra.verdict is DependenceVerdict.DISTANCE:
+            assert rb.distance == -ra.distance
+
+
+class TestDDGIntegration:
+    def _loop_with_offsets(self, load_offset, store_offset):
+        """load a[i + load_offset/4], store a[i + store_offset/4]."""
+        b = LoopBuilder()
+        lref = b.memref("a", stride=4, offset=load_offset, space="s")
+        sref = b.memref("a", stride=4, offset=store_offset, space="s")
+        x = b.load("ld4", b.live_greg("p"), lref, post_inc=4)
+        y = b.alu_imm("adds", x, 1)
+        b.store("st4", b.live_greg("q"), y, sref, post_inc=4)
+        return b.build("ofs")
+
+    def test_recurrence_through_memory(self, machine):
+        """a[i] = f(a[i-2]): the store feeds the load two iterations
+        later, a genuine memory recurrence with distance 2."""
+        loop = self._loop_with_offsets(load_offset=0, store_offset=8)
+        ddg = build_ddg(loop)
+        mem_flow = [e for e in ddg.edges if e.kind is DepKind.MEM_FLOW]
+        assert len(mem_flow) == 1
+        assert mem_flow[0].omega == 2
+        assert mem_flow[0].src.is_store and mem_flow[0].dst.is_load
+        from repro.ddg import recurrence_ii
+
+        # the cycle store -> (mem, w=2) -> load -> add -> store binds the II
+        assert recurrence_ii(ddg, machine.latency_query) >= 2
+
+    def test_forward_distance_is_anti(self):
+        """load a[i+2] after store a[i]: the load reads ahead of the
+        store wavefront — an anti dependence, not a recurrence."""
+        loop = self._loop_with_offsets(load_offset=8, store_offset=0)
+        ddg = build_ddg(loop)
+        anti = [e for e in ddg.edges if e.kind is DepKind.MEM_ANTI]
+        assert len(anti) == 1
+        assert anti[0].omega == 2
+        assert anti[0].src.is_load and anti[0].dst.is_store
+
+    def test_in_place_update_intra_iteration(self):
+        """a[i] = a[i] + 1: distance 0, ordering by body position only."""
+        loop = self._loop_with_offsets(load_offset=0, store_offset=0)
+        ddg = build_ddg(loop)
+        mem = [e for e in ddg.edges if e.kind.is_memory]
+        assert len(mem) == 1
+        assert mem[0].omega == 0
+        assert mem[0].kind is DepKind.MEM_ANTI
+
+    def test_gcd_disjoint_accesses(self, machine):
+        """Odd/even element split never aliases (GCD test)."""
+        b = LoopBuilder()
+        lref = b.memref("a", stride=8, offset=0, space="s")
+        sref = b.memref("a", stride=8, offset=4, space="s")
+        x = b.load("ld4", b.live_greg("p"), lref, post_inc=8)
+        b.store("st4", b.live_greg("q"), x, sref, post_inc=8)
+        ddg = build_ddg(b.build("oddeven"))
+        assert not [e for e in ddg.edges if e.kind.is_memory]
+
+    def test_memory_recurrence_limits_boosting(self, machine):
+        """A load on a store->load memory recurrence must stay critical
+        when boosting it would blow the II."""
+        from repro.config import CompilerConfig, HintPolicy
+        from repro.ir.memref import LatencyHint
+        from repro.pipeliner import pipeline_loop
+
+        loop = self._loop_with_offsets(load_offset=0, store_offset=4)
+        loop.body[0].memref.hint = LatencyHint.L3
+        loop.body[0].memref.hint_source = "hlo"
+        loop.trip_count.estimate = 1000.0
+        result = pipeline_loop(
+            loop, machine, CompilerConfig(trip_count_threshold=0)
+        )
+        assert result.pipelined
+        # distance-1 recurrence: load latency 21 would force II >= 23
+        assert result.stats.boosted_loads == 0
+        assert result.ii <= 4

@@ -1,0 +1,134 @@
+"""Tests for DDG construction."""
+
+from repro.ddg import DepKind, build_ddg
+from repro.ir import LoopBuilder, parse_loop
+from repro.ir.memref import AccessPattern
+
+
+def _edges(ddg, kind=None):
+    return [e for e in ddg.edges if kind is None or e.kind is kind]
+
+
+class TestRegisterDependences:
+    def test_running_example_edges(self, running_example):
+        ddg = build_ddg(running_example)
+        flows = _edges(ddg, DepKind.FLOW)
+        assert len(flows) == 4
+        # post-increment self-recurrences on both address registers
+        self_loops = [e for e in flows if e.src is e.dst]
+        assert len(self_loops) == 2
+        assert all(e.omega == 1 for e in self_loops)
+        # the two intra-iteration data flows
+        intra = [e for e in flows if e.omega == 0]
+        assert len(intra) == 2
+
+    def test_live_in_has_no_edge(self, running_example):
+        ddg = build_ddg(running_example)
+        # r9 (the addend) is live-in: no producer edge targets its use
+        add = running_example.body[1]
+        pred_regs = {e.reg for e in ddg.preds(add)}
+        load_data = running_example.body[0].defs[0]
+        assert pred_regs == {load_data}
+
+    def test_accumulator_creates_loop_carried_flow(self):
+        b = LoopBuilder()
+        acc = b.live_freg("acc")
+        x = b.load("ldfd", b.live_greg("p"), b.memref("a", size=8, is_fp=True),
+                   post_inc=8)
+        b.alu_into("fadd", acc, acc, x)
+        ddg = build_ddg(b.build("red"))
+        self_edges = [e for e in ddg.edges if e.src is e.dst and e.reg == acc]
+        assert len(self_edges) == 1
+        assert self_edges[0].omega == 1
+
+    def test_use_before_def_is_loop_carried(self):
+        """A register read at a smaller body index than its definition
+        carries the previous iteration's value."""
+        b = LoopBuilder()
+        node = b.live_greg("node")
+        ref = b.memref("f", pattern=AccessPattern.POINTER_CHASE, size=8)
+        val = b.load("ld8", node, ref)  # reads node (defined below)
+        chase = b.memref("n", pattern=AccessPattern.POINTER_CHASE, size=8,
+                         space="nodes")
+        b.load_into("ld8", node, node, chase)
+        ddg = build_ddg(b.build("walk"))
+        carried = [
+            e for e in ddg.edges
+            if e.reg == node and e.dst.index == 0 and e.omega == 1
+        ]
+        assert carried, "field load must depend on previous iteration's chase"
+
+
+class TestMemoryDependences:
+    def test_distinct_spaces_are_independent(self, running_example):
+        ddg = build_ddg(running_example)
+        assert not [e for e in ddg.edges if e.kind.is_memory]
+
+    def test_same_space_intra_iteration_ordering(self):
+        loop = parse_loop(
+            """
+            memref A affine stride=4 space=s
+            memref B affine stride=4 space=s
+            loop rw
+              ld4 r1 = [r2], 4 !A
+              add r3 = r1, r9
+              st4 [r4] = r3, 4 !B
+            """
+        )
+        ddg = build_ddg(loop)
+        anti = [e for e in ddg.edges if e.kind is DepKind.MEM_ANTI]
+        assert len(anti) == 1
+        assert anti[0].omega == 0
+
+    def test_affine_pairs_have_no_carried_memory_edges(self):
+        loop = parse_loop(
+            """
+            memref A affine stride=4 space=s
+            memref B affine stride=4 space=s
+            loop rw
+              ld4 r1 = [r2], 4 !A
+              st4 [r4] = r1, 4 !B
+            """
+        )
+        ddg = build_ddg(loop)
+        carried = [e for e in ddg.edges if e.kind.is_memory and e.omega == 1]
+        assert not carried
+
+    def test_non_analysable_store_gets_self_output_dep(self):
+        b = LoopBuilder()
+        node = b.live_greg("node")
+        pref = b.memref("p", pattern=AccessPattern.POINTER_CHASE, size=8)
+        x = b.live_greg("x")
+        b.store("st8", node, x, pref)
+        chase = b.memref("n", pattern=AccessPattern.POINTER_CHASE, size=8,
+                         space="nodes")
+        b.load_into("ld8", node, node, chase)
+        ddg = build_ddg(b.build("w"))
+        self_out = [
+            e for e in ddg.edges
+            if e.kind is DepKind.MEM_OUTPUT and e.src is e.dst
+        ]
+        assert len(self_out) == 1
+
+    def test_prefetches_unconstrained(self):
+        b = LoopBuilder()
+        a = b.memref("a", stride=4)
+        addr = b.live_greg("pa")
+        x = b.load("ld4", addr, a, post_inc=4)
+        b.prefetch(addr, a)
+        b.store("st4", b.live_greg("pc"), x, b.memref("c", stride=4),
+                post_inc=4)
+        ddg = build_ddg(b.build("pf"))
+        lfetch = b._body[1]
+        mem_edges = [
+            e for e in ddg.edges
+            if e.kind.is_memory and (e.src is lfetch or e.dst is lfetch)
+        ]
+        assert not mem_edges
+
+    def test_succs_preds_consistency(self, running_example):
+        ddg = build_ddg(running_example)
+        for inst in ddg.nodes:
+            for e in ddg.succs(inst):
+                assert e.src is inst
+                assert e in ddg.preds(e.dst)

@@ -1,0 +1,104 @@
+"""Tests for MinDist matrices, heights and slack."""
+
+import numpy as np
+import pytest
+
+from repro.ddg import acyclic_heights, acyclic_slacks, build_ddg, mindist_matrix
+from repro.ddg.mindist import NO_PATH
+from repro.ddg.slack import modulo_heights
+from repro.errors import DependenceError
+from repro.ir import LoopBuilder, parse_loop
+
+
+class TestMinDist:
+    def test_running_example_at_ii1(self, running_example, machine):
+        ddg = build_ddg(running_example)
+        dist = mindist_matrix(ddg, 1, machine.latency_query)
+        # load -> add needs 1 cycle, load -> store 2 via the chain
+        assert dist[0, 1] == 1
+        assert dist[0, 2] == 2
+        # no path from store back to load
+        assert dist[2, 0] == NO_PATH
+        # self distances: post-increment cycles net to <= 0 at feasible II
+        assert dist[0, 0] <= 0
+
+    def test_below_recurrence_bound_raises(self, machine):
+        b = LoopBuilder()
+        acc = b.live_freg("acc")
+        x = b.load("ldfd", b.live_greg("p"),
+                   b.memref("a", size=8, is_fp=True), post_inc=8)
+        b.alu_into("fadd", acc, acc, x)
+        ddg = build_ddg(b.build("red"))
+        with pytest.raises(DependenceError):
+            mindist_matrix(ddg, 3, machine.latency_query)  # RecII is 4
+        dist = mindist_matrix(ddg, 4, machine.latency_query)
+        assert np.all(np.diagonal(dist) <= 0)
+
+    def test_schedule_satisfies_mindist(self, running_example, machine):
+        """Any legal schedule respects t(j) - t(i) >= mindist[i][j]."""
+        from repro.config import baseline_config
+        from repro.pipeliner import pipeline_loop
+
+        result = pipeline_loop(running_example, machine, baseline_config())
+        sched = result.schedule
+        ddg = result.ddg
+        dist = mindist_matrix(ddg, sched.ii, machine.latency_query)
+        for i in ddg.nodes:
+            for j in ddg.nodes:
+                if dist[i.index, j.index] == NO_PATH:
+                    continue
+                assert (
+                    sched.time_of(j) - sched.time_of(i)
+                    >= dist[i.index, j.index]
+                )
+
+
+class TestHeightsAndSlack:
+    def test_acyclic_heights_chain(self, running_example, machine):
+        ddg = build_ddg(running_example)
+        h = acyclic_heights(ddg, machine.latency_query)
+        ld, add, st = running_example.body
+        assert h[st] == 0
+        assert h[add] == 1
+        assert h[ld] == 2
+
+    def test_modulo_heights_match_on_chain(self, running_example, machine):
+        ddg = build_ddg(running_example)
+        h = modulo_heights(ddg, 1, machine.latency_query)
+        ld, add, st = running_example.body
+        assert h[ld] > h[add] > h[st]
+
+    def test_modulo_heights_diverge_below_rec_ii(self, machine):
+        b = LoopBuilder()
+        acc = b.live_freg("acc")
+        x = b.load("ldfd", b.live_greg("p"),
+                   b.memref("a", size=8, is_fp=True), post_inc=8)
+        b.alu_into("fadd", acc, acc, x)
+        ddg = build_ddg(b.build("red"))
+        with pytest.raises(DependenceError):
+            modulo_heights(ddg, 3, machine.latency_query)
+
+    def test_slack_zero_on_critical_chain(self, running_example, machine):
+        ddg = build_ddg(running_example)
+        slack = acyclic_slacks(ddg, machine.latency_query)
+        assert all(s == 0 for s in slack.values())
+
+    def test_off_path_op_has_slack(self, machine):
+        loop = parse_loop(
+            """
+            memref A affine stride=8 size=8 fp
+            memref B affine stride=4
+            loop sl
+              ldfd f1 = [r1], 8 !A
+              fma f4 = f1, f2, f3
+              stfd [r2] = f4, 8 !A
+              ld4 r5 = [r6], 4 !B
+              st4 [r7] = r5, 4 !B
+            """
+        )
+        ddg = build_ddg(loop)
+        slack = acyclic_slacks(ddg, machine.latency_query)
+        # the FP chain is critical (6+4 = 10 cycles); the int side is slack
+        int_load = loop.body[3]
+        assert slack[int_load] > 0
+        assert slack[loop.body[0]] == 0

@@ -1,0 +1,92 @@
+"""Tests for hint policies and the HLO pass pipeline."""
+
+import pytest
+
+from repro.config import CompilerConfig, HintPolicy, baseline_config
+from repro.hlo import apply_hints, run_hlo
+from repro.hlo.profiles import TripDistribution, collect_block_profile
+from repro.ir.loop import TripCountSource
+from repro.ir.memref import LatencyHint
+from repro.workloads.loops import gather, pointer_chase, stream_fp, stream_int
+
+
+class TestPolicies:
+    def test_baseline_clears_hints(self, machine):
+        loop, _ = stream_int("s")
+        loop.loads[0].memref.hint = LatencyHint.L3
+        apply_hints(loop, baseline_config())
+        assert loop.loads[0].memref.hint is LatencyHint.NONE
+
+    def test_all_loads_l3(self, machine):
+        loop, _ = stream_fp("s")
+        apply_hints(loop, CompilerConfig(hint_policy=HintPolicy.ALL_LOADS_L3))
+        for load in loop.loads:
+            assert load.memref.hint is LatencyHint.L3
+            assert load.memref.hint_source == "policy"
+
+    def test_all_fp_l2(self, machine):
+        loop, _ = gather("g", fp=True)
+        apply_hints(loop, CompilerConfig(hint_policy=HintPolicy.ALL_FP_L2))
+        for load in loop.loads:
+            if load.is_fp:
+                assert load.memref.hint is LatencyHint.L2
+            else:
+                assert load.memref.hint is LatencyHint.NONE
+
+    def test_hlo_policy_includes_fp_default(self, machine):
+        """Sec. 4.3: the FP-L2 default remains under HLO-directed hints."""
+        loop, _ = stream_fp("s")
+        cfg = CompilerConfig(hint_policy=HintPolicy.HLO)
+        run_hlo(loop, machine, cfg)
+        for load in loop.loads:
+            assert load.memref.hint is LatencyHint.L2
+            assert load.memref.hint_source == "policy"
+
+    def test_hlo_only_policy_skips_fp_default(self, machine):
+        loop, _ = stream_fp("s")
+        run_hlo(loop, machine, CompilerConfig(hint_policy=HintPolicy.HLO_ONLY))
+        for load in loop.loads:
+            assert load.memref.hint is LatencyHint.NONE
+
+    def test_hlo_marks_take_precedence_over_default(self, machine):
+        loop, _ = gather("g", fp=True)
+        run_hlo(loop, machine, CompilerConfig(hint_policy=HintPolicy.HLO))
+        data = next(l.memref for l in loop.loads if l.is_fp)
+        assert data.hint is LatencyHint.L3  # rule 2b, not the L2 default
+        assert data.hint_source == "hlo"
+
+    def test_store_only_refs_not_hinted(self, machine):
+        loop, _ = stream_int("s")
+        apply_hints(loop, CompilerConfig(hint_policy=HintPolicy.ALL_LOADS_L3))
+        store_ref = loop.stores[0].memref
+        assert store_ref.hint is LatencyHint.NONE
+
+
+class TestRunHlo:
+    def test_sets_trip_count_from_profile(self, machine):
+        loop, _ = stream_int("s")
+        profile = collect_block_profile(
+            {loop.name: TripDistribution(kind="constant", mean=77)}
+        )
+        run_hlo(loop, machine, CompilerConfig(pgo=True), profile)
+        assert loop.trip_count.source is TripCountSource.PGO
+        assert loop.trip_count.estimate == pytest.approx(77)
+
+    def test_static_profile_without_pgo(self, machine):
+        loop, _ = stream_int("s")
+        run_hlo(loop, machine, CompilerConfig(pgo=False))
+        assert loop.trip_count.source is TripCountSource.HEURISTIC
+
+    def test_prefetches_inserted(self, machine):
+        loop, _ = stream_int("s", streams=2)
+        n_before = len(loop.body)
+        run_hlo(loop, machine, CompilerConfig())
+        assert len(loop.prefetches) >= 2
+        assert len(loop.body) > n_before
+
+    def test_chase_gets_no_prefetch_but_hints(self, machine):
+        loop, _ = pointer_chase("m")
+        run_hlo(loop, machine, CompilerConfig(hint_policy=HintPolicy.HLO))
+        assert not loop.prefetches
+        hinted = [l for l in loop.loads if l.memref.hint is not LatencyHint.NONE]
+        assert len(hinted) == len(loop.loads)

@@ -1,0 +1,116 @@
+"""Tests for profiles and trip-count estimation."""
+
+import numpy as np
+import pytest
+
+from repro.config import CompilerConfig, baseline_config
+from repro.errors import WorkloadError
+from repro.hlo import (
+    BlockProfile,
+    TripDistribution,
+    collect_block_profile,
+    estimate_trip_count,
+    static_profile_estimate,
+)
+from repro.hlo.profiles import geometric_mean
+from repro.hlo.tripcount import prefetch_lookahead_trips
+from repro.ir import parse_loop
+from repro.ir.loop import TripCountInfo, TripCountSource
+
+
+class TestTripDistribution:
+    def test_constant(self):
+        d = TripDistribution(kind="constant", mean=42)
+        assert d.average() == 42
+        rng = np.random.default_rng(1)
+        assert set(d.sample(rng, 10)) == {42}
+
+    def test_uniform(self):
+        d = TripDistribution(kind="uniform", low=10, high=20)
+        assert d.average() == 15
+        rng = np.random.default_rng(1)
+        samples = d.sample(rng, 200)
+        assert samples.min() >= 10 and samples.max() <= 20
+
+    def test_bimodal(self):
+        d = TripDistribution(kind="bimodal", low=2, high=1000, p_low=0.5)
+        assert d.average() == 501
+        rng = np.random.default_rng(1)
+        samples = d.sample(rng, 400)
+        assert set(np.unique(samples)) == {2, 1000}
+
+    def test_samples_at_least_one(self):
+        d = TripDistribution(kind="constant", mean=0.2)
+        rng = np.random.default_rng(1)
+        assert d.sample(rng, 5).min() >= 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(WorkloadError):
+            TripDistribution(kind="exponential")
+
+
+class TestBlockProfile:
+    def test_collect(self):
+        profile = collect_block_profile(
+            {"hot": TripDistribution(kind="constant", mean=154)}
+        )
+        info = profile.trip_info("hot")
+        assert info is not None
+        assert info.estimate == pytest.approx(154)
+        assert info.source is TripCountSource.PGO
+
+    def test_unknown_loop(self):
+        assert BlockProfile().trip_info("nope") is None
+
+
+class TestTripCountEstimation:
+    def _loop(self, max_trips=None):
+        extra = f" max_trips={max_trips}" if max_trips else ""
+        return parse_loop(
+            f"""
+            memref A affine stride=4
+            loop hot{extra}
+              ld4 r1 = [r2], 4 !A
+              add r3 = r1, r9
+            """
+        )
+
+    def test_pgo_profile_wins(self):
+        loop = self._loop()
+        profile = collect_block_profile(
+            {"hot": TripDistribution(kind="constant", mean=33)}
+        )
+        info = estimate_trip_count(loop, CompilerConfig(pgo=True), profile)
+        assert info.source is TripCountSource.PGO
+        assert info.estimate == pytest.approx(33)
+
+    def test_static_heuristic_without_pgo(self):
+        loop = self._loop()
+        info = estimate_trip_count(loop, CompilerConfig(pgo=False), None)
+        assert info.source is TripCountSource.HEURISTIC
+        assert info.estimate == 100.0  # the low-accuracy default
+
+    def test_static_bound_caps_heuristic(self):
+        loop = self._loop(max_trips=12)
+        info = estimate_trip_count(loop, CompilerConfig(pgo=False), None)
+        assert info.estimate == 12.0
+
+    def test_static_profile_estimate_direct(self):
+        loop = self._loop(max_trips=7)
+        info = static_profile_estimate(loop, default=50.0)
+        assert info.estimate == 7.0
+
+    def test_lookahead_infinite_with_outer_contiguity(self):
+        info = TripCountInfo(estimate=8.0, contiguous_across_outer=True)
+        assert prefetch_lookahead_trips(info, 100.0) == float("inf")
+        info2 = TripCountInfo(estimate=8.0)
+        assert prefetch_lookahead_trips(info2, 100.0) == 8.0
+
+
+class TestGeomean:
+    def test_identity(self):
+        assert geometric_mean([]) == 1.0
+        assert geometric_mean([1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)

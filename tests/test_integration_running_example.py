@@ -1,0 +1,93 @@
+"""End-to-end reproduction of the paper's running example (Figs. 1-4, 6).
+
+Fig. 1: the source loop takes three cycles per iteration.
+Fig. 2/3: software pipelining turns it into a 3-stage, II=1 kernel using
+stage predicates p16-p18 and rotating registers r32-r35.
+Fig. 4/6: scheduling the load for a 3-cycle latency adds two "latency
+buffer" stages (5 stages total) without changing the II, and the kernel
+reads the load's value three rotations later ((p19) add r36 = r35, ...).
+"""
+
+import pytest
+
+from repro.config import CompilerConfig, baseline_config
+from repro.ddg import build_ddg
+from repro.ir import parse_loop
+from repro.ir.memref import LatencyHint
+from repro.machine.hints import HintTranslation
+from repro.pipeliner import pipeline_loop
+from repro.pipeliner.scheduler import list_schedule_length
+from tests.conftest import RUNNING_EXAMPLE
+
+
+@pytest.fixture
+def example():
+    return parse_loop(RUNNING_EXAMPLE)
+
+
+class TestFig1SourceLoop:
+    def test_three_cycles_per_source_iteration(self, example, machine):
+        assert list_schedule_length(build_ddg(example), machine) == 3
+
+
+class TestFig3BaselineKernel:
+    def test_pipeline_structure(self, example, machine):
+        result = pipeline_loop(example, machine, baseline_config())
+        assert result.pipelined
+        assert result.ii == 1
+        assert result.stats.stage_count == 3
+        # each stage holds exactly one instruction
+        stages = {result.schedule.stage_of(i) for i in example.body}
+        assert stages == {0, 1, 2}
+
+    def test_kernel_text_matches_paper(self, example, machine):
+        result = pipeline_loop(example, machine, baseline_config())
+        text = result.kernel.format()
+        for fragment in (
+            "(p16) ld4 r32",
+            "(p17) add r34 = r33",
+            "(p18) st4",
+            "br.ctop",
+        ):
+            assert fragment in text, f"missing {fragment!r} in:\n{text}"
+
+
+class TestFig4And6LatencyTolerant:
+    @pytest.fixture
+    def boosted(self, example, machine):
+        example.body[0].memref.hint = LatencyHint.L2
+        machine3 = machine.with_translation(
+            HintTranslation(name="three-cycle", l2=3)
+        )
+        return pipeline_loop(
+            example,
+            machine3,
+            CompilerConfig(trip_count_threshold=0, prefetch=False),
+        )
+
+    def test_two_latency_buffer_stages(self, boosted):
+        assert boosted.ii == 1  # II unchanged!
+        assert boosted.stats.stage_count == 5  # 3 + 2 buffer stages
+
+    def test_clustering_factor_three(self, boosted):
+        placement = boosted.stats.placements[0]
+        assert placement.use_distance == 3
+        assert placement.additional_latency == 2
+        assert placement.clustering_factor(boosted.ii) == 3
+
+    def test_kernel_text_matches_fig6(self, boosted):
+        text = boosted.kernel.format()
+        assert "(p16) ld4 r32" in text
+        assert "(p19) add r36 = r35" in text
+        assert "(p20) st4" in text and "r37" in text
+
+    def test_load_blade_spans_clustered_instances(self, boosted, machine):
+        """Three instances of the load live in r32-r34 simultaneously
+        (Sec. 2.2): the blade must span >= k registers."""
+        load_data = boosted.loop.body[0].defs[0]
+        base, span = boosted.rotating.blades[load_data]
+        assert span >= 3
+
+    def test_fill_drain_cost(self, boosted):
+        # one extra kernel iteration per extra stage (Sec. 1.1)
+        assert boosted.kernel.total_kernel_iterations(100) == 104

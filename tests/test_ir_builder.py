@@ -1,0 +1,96 @@
+"""Tests for the LoopBuilder API."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import LoopBuilder
+from repro.ir.loop import TripCountSource
+from repro.ir.registers import RegClass
+
+
+class TestLoopBuilder:
+    def test_fresh_registers_are_distinct(self):
+        b = LoopBuilder()
+        assert b.greg() != b.greg()
+        assert b.freg().rclass is RegClass.FR
+        assert b.pred().rclass is RegClass.PR
+
+    def test_live_in_inference(self):
+        b = LoopBuilder()
+        a = b.memref("a", stride=4)
+        addr = b.live_greg("pa")
+        x = b.load("ld4", addr, a, post_inc=4)
+        extern = b.greg()  # used but never defined -> inferred live-in
+        y = b.alu("add", x, extern)
+        c = b.memref("c", stride=4)
+        b.store("st4", b.live_greg("pc"), y, c, post_inc=4)
+        loop = b.build("t")
+        assert extern in loop.live_in
+        assert addr in loop.live_in
+        assert x not in loop.live_in
+
+    def test_load_wrong_opcode_rejected(self):
+        b = LoopBuilder()
+        with pytest.raises(IRError, match="not a load"):
+            b.load("add", b.greg(), b.memref("a"))
+
+    def test_store_wrong_opcode_rejected(self):
+        b = LoopBuilder()
+        with pytest.raises(IRError, match="not a store"):
+            b.store("ld4", b.greg(), b.greg(), b.memref("a"))
+
+    def test_fp_load_gets_fp_destination(self):
+        b = LoopBuilder()
+        dest = b.load("ldfd", b.live_greg("p"), b.memref("x", size=8, is_fp=True))
+        assert dest.rclass is RegClass.FR
+
+    def test_load_into_self_recurrence(self):
+        b = LoopBuilder()
+        node = b.live_greg("node")
+        from repro.ir.memref import AccessPattern
+
+        ref = b.memref("n", pattern=AccessPattern.POINTER_CHASE, size=8)
+        out = b.load_into("ld8", node, node, ref)
+        assert out is node
+        loop = b.build("chase")
+        inst = loop.body[0]
+        assert inst.defs == (node,) and inst.uses == (node,)
+
+    def test_alu_rejects_memory_ops(self):
+        b = LoopBuilder()
+        with pytest.raises(IRError):
+            b.alu("ld4", b.greg())
+
+    def test_cmp_returns_predicate(self):
+        b = LoopBuilder()
+        p = b.cmp(b.live_greg("x"), b.live_greg("y"))
+        assert p.rclass is RegClass.PR
+
+    def test_accumulator_via_alu_into(self):
+        b = LoopBuilder()
+        acc = b.live_freg("acc")
+        x = b.load("ldfd", b.live_greg("p"), b.memref("a", size=8, is_fp=True),
+                   post_inc=8)
+        b.alu_into("fadd", acc, acc, x)
+        b.mark_live_out(acc)
+        loop = b.build("red")
+        assert acc in loop.live_out
+        assert loop.defs_of(acc) == [loop.body[1]]
+
+    def test_trip_count_metadata(self):
+        b = LoopBuilder()
+        a = b.memref("a", stride=4)
+        x = b.load("ld4", b.live_greg("p"), a, post_inc=4)
+        b.store("st4", b.live_greg("q"), x, b.memref("c", stride=4), post_inc=4)
+        loop = b.build("t", trips=123.0, max_trips=500)
+        assert loop.trip_count.estimate == 123.0
+        assert loop.trip_count.source is TripCountSource.PGO
+        assert loop.trip_count.max_trips == 500
+
+    def test_unknown_trips(self):
+        b = LoopBuilder()
+        a = b.memref("a", stride=4)
+        x = b.load("ld4", b.live_greg("p"), a, post_inc=4)
+        b.store("st4", b.live_greg("q"), x, b.memref("c", stride=4), post_inc=4)
+        loop = b.build("t")
+        assert loop.trip_count.source is TripCountSource.UNKNOWN

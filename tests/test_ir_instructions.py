@@ -1,0 +1,77 @@
+"""Tests for Instruction construction and accessors."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.instructions import Instruction
+from repro.ir.memref import MemRef
+from repro.ir.opcodes import opcode
+from repro.ir.registers import greg, preg
+
+
+def _load(post_inc=None, qual_pred=None):
+    return Instruction(
+        opcode("ld4"),
+        defs=(greg(1),),
+        uses=(greg(2),),
+        memref=MemRef("a"),
+        post_increment=post_inc,
+        qual_pred=qual_pred,
+    )
+
+
+class TestInstruction:
+    def test_memory_op_requires_memref(self):
+        with pytest.raises(IRError, match="requires a memref"):
+            Instruction(opcode("ld4"), defs=(greg(1),), uses=(greg(2),))
+
+    def test_non_memory_op_rejects_memref(self):
+        with pytest.raises(IRError, match="carries a memref"):
+            Instruction(
+                opcode("add"),
+                defs=(greg(1),),
+                uses=(greg(2),),
+                memref=MemRef("a"),
+            )
+
+    def test_post_increment_only_on_memory(self):
+        with pytest.raises(IRError, match="post-increment"):
+            Instruction(
+                opcode("add"),
+                defs=(greg(1),),
+                uses=(greg(2),),
+                post_increment=4,
+            )
+
+    def test_qual_pred_must_be_predicate(self):
+        with pytest.raises(IRError, match="predicate"):
+            _load(qual_pred=greg(3))
+        inst = _load(qual_pred=preg(1))
+        assert inst.qual_pred == preg(1)
+
+    def test_address_reg(self):
+        assert _load().address_reg == greg(2)
+        alu = Instruction(opcode("add"), defs=(greg(1),), uses=(greg(2),))
+        assert alu.address_reg is None
+
+    def test_all_defs_includes_post_increment(self):
+        plain = _load()
+        assert plain.all_defs() == (greg(1),)
+        inc = _load(post_inc=4)
+        assert set(inc.all_defs()) == {greg(1), greg(2)}
+
+    def test_all_uses_includes_qual_pred(self):
+        inst = _load(qual_pred=preg(1))
+        assert preg(1) in inst.all_uses()
+        assert greg(2) in inst.all_uses()
+
+    def test_identity_hashing(self):
+        a, b = _load(), _load()
+        assert a != b
+        assert len({a, b}) == 2
+
+    def test_flag_delegation(self):
+        inst = _load()
+        assert inst.is_load and inst.is_memory
+        assert not inst.is_store and not inst.is_branch
+        assert inst.mnemonic == "ld4"

@@ -1,0 +1,103 @@
+"""Tests for the Loop container and trip-count info."""
+
+import math
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import LoopBuilder
+from repro.ir.loop import (
+    Loop,
+    TripCountInfo,
+    TripCountSource,
+    stage_count_cost,
+)
+
+
+def _simple_loop(trips=None):
+    b = LoopBuilder()
+    a = b.memref("a", stride=4)
+    addr = b.live_greg("pa")
+    x = b.load("ld4", addr, a, post_inc=4)
+    y = b.alu_imm("adds", x, 1)
+    c = b.memref("c", stride=4)
+    b.store("st4", b.live_greg("pc"), y, c, post_inc=4)
+    return b.build("simple", trips=trips)
+
+
+class TestTripCountInfo:
+    def test_unknown_by_default(self):
+        info = TripCountInfo()
+        assert not info.known
+        assert info.effective_estimate(64.0) == 64.0
+
+    def test_max_trips_caps_estimate(self):
+        info = TripCountInfo(estimate=500.0, max_trips=100)
+        assert info.effective_estimate(0.0) == 100.0
+        info2 = TripCountInfo(max_trips=10)
+        assert info2.effective_estimate(64.0) == 10.0
+
+
+class TestLoop:
+    def test_indices_assigned_in_body_order(self):
+        loop = _simple_loop()
+        assert [inst.index for inst in loop.body] == [0, 1, 2]
+
+    def test_memrefs_deduplicated(self):
+        loop = _simple_loop()
+        assert sorted(r.name for r in loop.memrefs) == ["a", "c"]
+
+    def test_loads_stores_prefetches(self):
+        loop = _simple_loop()
+        assert len(loop.loads) == 1
+        assert len(loop.stores) == 1
+        assert loop.prefetches == []
+
+    def test_unique_def_of(self):
+        loop = _simple_loop()
+        load = loop.body[0]
+        data_reg = load.defs[0]
+        assert loop.unique_def_of(data_reg) is load
+        # the post-incremented address is also defined by the load
+        assert loop.unique_def_of(load.address_reg) is load
+
+    def test_uses_of(self):
+        loop = _simple_loop()
+        data_reg = loop.body[0].defs[0]
+        assert loop.uses_of(data_reg) == [loop.body[1]]
+
+    def test_average_trips(self):
+        assert _simple_loop(trips=50.0).average_trips() == 50.0
+        assert _simple_loop().average_trips(default=77.0) == 77.0
+
+    def test_without_prefetches(self):
+        b = LoopBuilder()
+        a = b.memref("a", stride=4)
+        addr = b.live_greg("pa")
+        x = b.load("ld4", addr, a, post_inc=4)
+        b.prefetch(addr, a)
+        c = b.memref("c", stride=4)
+        b.store("st4", b.live_greg("pc"), x, c, post_inc=4)
+        loop = b.build("pf")
+        assert len(loop.prefetches) == 1
+        stripped = loop.without_prefetches()
+        assert stripped.prefetches == []
+        assert len(stripped) == 2
+
+    def test_virtual_regs(self):
+        loop = _simple_loop()
+        regs = loop.virtual_regs()
+        assert all(r.virtual for r in regs)
+        assert len(regs) == 4  # pa, pc, load data, add result
+
+
+class TestStageCountCost:
+    def test_zero_trips_is_infinite(self):
+        assert math.isinf(stage_count_cost(5, 0))
+
+    def test_single_stage_is_free(self):
+        assert stage_count_cost(1, 100) == 0.0
+
+    def test_relative_cost(self):
+        # 5 stages -> 4 extra kernel iterations per execution
+        assert stage_count_cost(5, 8) == pytest.approx(0.5)

@@ -1,0 +1,68 @@
+"""Tests for memory-reference descriptors."""
+
+import pytest
+
+from repro.ir.memref import AccessPattern, LatencyHint, MemRef
+
+
+class TestMemRef:
+    def test_affine_defaults_to_element_stride(self):
+        ref = MemRef("a", size=8)
+        assert ref.pattern is AccessPattern.AFFINE
+        assert ref.stride == 8
+
+    def test_space_defaults_to_name(self):
+        assert MemRef("a").space == "a"
+        assert MemRef("a", space="heap").space == "heap"
+
+    def test_identity_semantics(self):
+        a = MemRef("a", stride=4)
+        b = MemRef("a", stride=4)
+        assert a != b
+        assert a.uid != b.uid
+
+    def test_indirect_requires_index_ref(self):
+        with pytest.raises(ValueError, match="index_ref"):
+            MemRef("data", pattern=AccessPattern.INDIRECT)
+        idx = MemRef("idx")
+        ref = MemRef("data", pattern=AccessPattern.INDIRECT, index_ref=idx)
+        assert ref.index_ref is idx
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError, match="size"):
+            MemRef("a", size=3)
+
+    def test_prefetchable(self):
+        assert MemRef("a").prefetchable
+        assert MemRef(
+            "b", pattern=AccessPattern.SYMBOLIC_STRIDE
+        ).prefetchable
+        assert not MemRef(
+            "c", pattern=AccessPattern.POINTER_CHASE
+        ).prefetchable
+        assert not MemRef("d", pattern=AccessPattern.INVARIANT).prefetchable
+
+    def test_clone_clears_annotations(self):
+        ref = MemRef("a", stride=4, offset=8)
+        ref.hint = LatencyHint.L3
+        ref.hint_source = "hlo"
+        ref.prefetched = True
+        ref.prefetch_distance = 12
+        clone = ref.clone_annotations_cleared()
+        assert clone.hint is LatencyHint.NONE
+        assert clone.hint_source == ""
+        assert not clone.prefetched
+        assert clone.prefetch_distance == 0
+        assert clone.stride == ref.stride
+        assert clone.offset == ref.offset
+        assert clone.uid != ref.uid
+
+
+class TestLatencyHint:
+    def test_ordering(self):
+        assert LatencyHint.NONE < LatencyHint.L1 < LatencyHint.L2
+        assert LatencyHint.L2 < LatencyHint.L3 < LatencyHint.MEM
+
+    def test_comparison_with_non_hint(self):
+        with pytest.raises(TypeError):
+            _ = LatencyHint.L2 < 3

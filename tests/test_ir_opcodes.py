@@ -1,0 +1,66 @@
+"""Tests for the opcode table."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.opcodes import OPCODES, UnitClass, opcode
+
+
+class TestOpcodeTable:
+    def test_integer_loads_have_l1_base_latency(self):
+        for mnemonic in ("ld1", "ld2", "ld4", "ld8"):
+            op = opcode(mnemonic)
+            assert op.is_load
+            assert op.latency == 1
+            assert op.unit is UnitClass.M
+
+    def test_fp_loads_bypass_l1(self):
+        # FP loads hit L2 at best: 5 cycles + 1 format conversion
+        for mnemonic in ("ldfs", "ldfd"):
+            op = opcode(mnemonic)
+            assert op.is_load and op.is_fp
+            assert op.latency == 6
+
+    def test_stores_are_memory_ops(self):
+        assert opcode("st4").is_store
+        assert opcode("stfd").is_store and opcode("stfd").is_fp
+        assert opcode("st8").is_memory
+
+    def test_prefetch(self):
+        op = opcode("lfetch")
+        assert op.is_prefetch and op.is_memory
+        assert not op.is_load and not op.is_store
+
+    def test_fp_arithmetic_latency(self):
+        assert opcode("fma").latency == 4
+        assert opcode("fadd").latency == 4
+        assert opcode("fma").unit is UnitClass.F
+
+    def test_alu_is_a_type(self):
+        assert opcode("add").unit is UnitClass.A
+        assert opcode("add").latency == 1
+
+    def test_compare_writes_predicates(self):
+        assert opcode("cmp").writes_predicate
+        assert opcode("fcmp").writes_predicate
+
+    def test_branches(self):
+        for mnemonic in ("br.ctop", "br.cloop", "br.wtop"):
+            op = opcode(mnemonic)
+            assert op.is_branch
+            assert op.unit is UnitClass.B
+
+    def test_cross_file_transfers_are_slow(self):
+        assert opcode("setf").latency >= 5
+        assert opcode("getf").latency >= 5
+
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(IRError, match="unknown opcode"):
+            opcode("frobnicate")
+
+    def test_table_consistency(self):
+        for name, op in OPCODES.items():
+            assert op.mnemonic == name
+            assert op.latency >= 0
+            # memory flags are mutually exclusive
+            assert sum([op.is_load, op.is_store, op.is_prefetch]) <= 1

@@ -1,0 +1,139 @@
+"""Tests for the textual loop parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.ir import parse_loop
+from repro.ir.memref import AccessPattern
+from repro.ir.registers import RegClass
+
+
+class TestParser:
+    def test_running_example(self):
+        loop = parse_loop(
+            """
+            memref A affine stride=4
+            memref B affine stride=4
+            loop copy_add trips=200 source=pgo
+              ld4 r4 = [r5], 4 !A
+              add r7 = r4, r9
+              st4 [r6] = r7, 4 !B
+            """
+        )
+        assert loop.name == "copy_add"
+        assert len(loop.body) == 3
+        assert loop.trip_count.estimate == 200.0
+        ld, add, st = loop.body
+        assert ld.is_load and ld.post_increment == 4
+        assert ld.memref.name == "A"
+        assert add.defs[0].index == 7
+        assert st.is_store and st.memref.name == "B"
+
+    def test_memref_patterns(self):
+        loop = parse_loop(
+            """
+            memref H chase size=8 space=heap
+            loop walk
+              ld8 r1 = [r1] !H
+            """
+        )
+        ref = loop.body[0].memref
+        assert ref.pattern is AccessPattern.POINTER_CHASE
+        assert ref.size == 8
+        assert ref.space == "heap"
+
+    def test_indirect_memref_links_index(self):
+        loop = parse_loop(
+            """
+            memref I affine stride=4
+            memref D indirect index=I
+            loop g
+              ld4 r2 = [r1], 4 !I
+              shladd r3 = r2, r9
+              ld4 r4 = [r3] !D
+              add r5 = r4, r8
+              st4 [r6] = r5, 4 !I
+            """
+        )
+        data = loop.body[2].memref
+        assert data.pattern is AccessPattern.INDIRECT
+        assert data.index_ref is loop.body[0].memref
+
+    def test_qualifying_predicate(self):
+        loop = parse_loop(
+            """
+            memref A affine stride=4
+            loop p
+              cmp p1 = r2, r3
+              (p1) ld4 r4 = [r5], 4 !A
+              add r6 = r4, r2
+            """
+        )
+        assert loop.body[1].qual_pred is not None
+        assert loop.body[1].qual_pred.rclass is RegClass.PR
+
+    def test_fp_instructions(self):
+        loop = parse_loop(
+            """
+            memref X affine stride=8 size=8 fp
+            loop f
+              ldfd f1 = [r1], 8 !X
+              fma f4 = f1, f2, f3
+              stfd [r2] = f4, 8 !X
+            """
+        )
+        assert loop.body[0].is_fp
+        assert loop.body[1].mnemonic == "fma"
+
+    def test_immediate_operand(self):
+        loop = parse_loop(
+            """
+            memref A affine stride=4
+            loop imm
+              ld4 r1 = [r2], 4 !A
+              adds r3 = r1, 16
+              st4 [r4] = r3, 4 !A
+            """
+        )
+        assert loop.body[1].imm == 16
+
+    def test_comments_and_blank_lines(self):
+        loop = parse_loop(
+            """
+            # header comment
+            memref A affine stride=4
+
+            loop c  # trailing comment
+              ld4 r1 = [r2], 4 !A   # load
+              add r3 = r1, r4
+            """
+        )
+        assert len(loop.body) == 2
+
+    def test_unknown_memref_rejected(self):
+        with pytest.raises(ParseError, match="unknown memref"):
+            parse_loop("loop x\n  ld4 r1 = [r2] !Z")
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ParseError, match="unknown opcode"):
+            parse_loop("loop x\n  bogus r1 = r2")
+
+    def test_instruction_before_header_rejected(self):
+        with pytest.raises(ParseError, match="before loop header"):
+            parse_loop("add r1 = r2, r3")
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ParseError, match="no loop header"):
+            parse_loop("memref A affine stride=4")
+
+    def test_empty_loop_rejected(self):
+        with pytest.raises(ParseError, match="no instructions"):
+            parse_loop("loop empty")
+
+    def test_malformed_load_rejected(self):
+        with pytest.raises(ParseError):
+            parse_loop("memref A affine\nloop x\n  ld4 r1, r2 !A")
+
+    def test_line_numbers_in_errors(self):
+        with pytest.raises(ParseError, match="line 3"):
+            parse_loop("memref A affine stride=4\nloop x\n  ld4 r1 = [r2] !Q")

@@ -1,0 +1,82 @@
+"""Tests for printing and IR validation (round-trips included)."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import LoopBuilder, format_instruction, format_loop, parse_loop
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import opcode
+from repro.ir.registers import greg
+from repro.ir.validate import validate_loop
+
+
+class TestPrinter:
+    def test_load_format(self, running_example):
+        text = format_instruction(running_example.body[0])
+        assert text == "ld4 vr4 = [vr5], 4 !A"
+
+    def test_store_format(self, running_example):
+        text = format_instruction(running_example.body[2])
+        assert text == "st4 [vr6] = vr7, 4 !B"
+
+    def test_alu_format(self, running_example):
+        assert format_instruction(running_example.body[1]) == "add vr7 = vr4, vr9"
+
+    def test_loop_format_contains_trips(self, running_example):
+        text = format_loop(running_example)
+        assert "copy_add" in text
+        assert "trips~200" in text
+        assert text.count("\n") == 3
+
+    def test_roundtrip_through_parser(self, running_example):
+        """Printing then reparsing preserves the structure."""
+        printed = format_loop(running_example)
+        # rebuild parseable text: memref decls + instructions without 'v'
+        body = "\n".join(
+            "  " + format_instruction(i).replace("vr", "r")
+            for i in running_example.body
+        )
+        text = (
+            "memref A affine stride=4\nmemref B affine stride=4\n"
+            "loop copy_add\n" + body
+        )
+        again = parse_loop(text)
+        assert len(again.body) == len(running_example.body)
+        assert [i.mnemonic for i in again.body] == [
+            i.mnemonic for i in running_example.body
+        ]
+
+
+class TestValidate:
+    def test_valid_loop_passes(self, running_example):
+        validate_loop(running_example)
+
+    def test_empty_body_rejected(self):
+        from repro.ir.loop import Loop
+
+        with pytest.raises(IRError, match="empty body"):
+            validate_loop(Loop(name="e", body=[]))
+
+    def test_double_definition_rejected(self):
+        b = LoopBuilder()
+        a = b.memref("a", stride=4)
+        x = b.load("ld4", b.live_greg("p"), a, post_inc=4)
+        b.alu_into("add", x, x)  # redefines the load target
+        with pytest.raises(IRError, match="multiple definitions"):
+            b.build("bad")
+
+    def test_branch_in_body_rejected(self):
+        from repro.ir.loop import Loop
+
+        br = Instruction(opcode("br.cloop"))
+        with pytest.raises(IRError, match="branch"):
+            validate_loop(Loop(name="b", body=[br]))
+
+    def test_undefined_live_out_rejected(self):
+        b = LoopBuilder()
+        a = b.memref("a", stride=4)
+        x = b.load("ld4", b.live_greg("p"), a, post_inc=4)
+        b.alu_imm("adds", x, 1)
+        b.mark_live_out(greg(999))
+        with pytest.raises(IRError, match="live-out"):
+            b.build("bad")

@@ -1,0 +1,66 @@
+"""Tests for the register model."""
+
+import pytest
+
+from repro.ir.registers import (
+    AR_EC,
+    AR_LC,
+    Reg,
+    RegClass,
+    RegisterFile,
+    ROTATING_GR_BASE,
+    ROTATING_PR_BASE,
+    greg,
+    freg,
+    preg,
+    itanium_register_files,
+)
+
+
+class TestReg:
+    def test_virtual_naming(self):
+        assert greg(4).name == "vr4"
+        assert freg(7).name == "vf7"
+        assert preg(1).name == "vp1"
+
+    def test_physical_naming(self):
+        assert greg(32, virtual=False).name == "r32"
+        assert freg(32, virtual=False).name == "f32"
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Reg(RegClass.GR, -1)
+
+    def test_equality_and_hash(self):
+        assert greg(4) == greg(4)
+        assert greg(4) != greg(5)
+        assert greg(4) != freg(4)
+        assert greg(4) != greg(4, virtual=False)
+        assert len({greg(4), greg(4), freg(4)}) == 2
+
+    def test_str_matches_name(self):
+        assert str(greg(9)) == "vr9"
+
+    def test_special_application_registers(self):
+        assert AR_LC.rclass is RegClass.AR
+        assert AR_EC.rclass is RegClass.AR
+        assert not AR_LC.virtual
+
+
+class TestRegisterFile:
+    def test_itanium_files_rotating_areas(self):
+        files = itanium_register_files()
+        assert files[RegClass.GR].rotating_base == ROTATING_GR_BASE == 32
+        assert files[RegClass.GR].rotating_size == 96
+        assert files[RegClass.FR].rotating_size == 96
+        assert files[RegClass.PR].rotating_base == ROTATING_PR_BASE == 16
+        assert files[RegClass.PR].rotating_size == 48
+
+    def test_static_count(self):
+        files = itanium_register_files()
+        assert files[RegClass.GR].static_count == 32
+        assert files[RegClass.PR].static_count == 16
+
+    def test_oversized_rotating_area_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterFile(RegClass.GR, 64, rotating_base=32, rotating_size=64)

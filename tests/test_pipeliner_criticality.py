@@ -1,0 +1,121 @@
+"""Tests for the critical/non-critical load classification (Sec. 3.3)."""
+
+from repro.ddg import build_ddg
+from repro.ir import LoopBuilder
+from repro.ir.memref import AccessPattern, LatencyHint
+from repro.pipeliner import classify_loads, compute_bounds
+
+
+def _chase_with_fields(hint=LatencyHint.L2):
+    """Fields off-cycle, chase on-cycle (the mcf shape)."""
+    b = LoopBuilder()
+    node = b.live_greg("node")
+    fref = b.memref("f", pattern=AccessPattern.POINTER_CHASE, size=8)
+    fref.hint = hint
+    fref.hint_source = "hlo"
+    val = b.load("ld8", node, fref)
+    b.alu_imm("adds", val, 1)
+    cref = b.memref("n", pattern=AccessPattern.POINTER_CHASE, size=8,
+                    space="nodes")
+    cref.hint = hint
+    cref.hint_source = "hlo"
+    b.load_into("ld8", node, node, cref)
+    return b.build("mcf")
+
+
+class TestClassification:
+    def test_on_cycle_load_is_critical(self, machine):
+        loop = _chase_with_fields()
+        ddg = build_ddg(loop)
+        bounds = compute_bounds(ddg, machine)
+        crit = classify_loads(ddg, machine, bounds)
+        chase = loop.body[-1]
+        field = loop.body[0]
+        assert chase in crit.critical
+        assert field not in crit.critical
+        assert field in crit.boosted
+        assert chase not in crit.boosted
+
+    def test_unhinted_loads_not_boosted(self, machine, running_example):
+        ddg = build_ddg(running_example)
+        bounds = compute_bounds(ddg, machine)
+        crit = classify_loads(ddg, machine, bounds)
+        assert not crit.boosted
+        # the running example's load is off any recurrence: not critical
+        assert not crit.critical
+
+    def test_hinted_off_cycle_load_boosted(self, machine, running_example):
+        running_example.body[0].memref.hint = LatencyHint.L3
+        ddg = build_ddg(running_example)
+        bounds = compute_bounds(ddg, machine)
+        crit = classify_loads(ddg, machine, bounds)
+        assert running_example.body[0] in crit.boosted
+
+    def test_expected_fn_only_data_edges(self, machine):
+        loop = _chase_with_fields()
+        ddg = build_ddg(loop)
+        bounds = compute_bounds(ddg, machine)
+        crit = classify_loads(ddg, machine, bounds)
+        field = loop.body[0]
+        for edge in ddg.succs(field):
+            if edge.reg in field.defs:
+                assert crit.expected_fn(edge)
+        chase = loop.body[-1]
+        for edge in ddg.succs(chase):
+            assert not crit.expected_fn(edge)
+
+    def test_demote_all(self, machine):
+        loop = _chase_with_fields()
+        ddg = build_ddg(loop)
+        crit = classify_loads(ddg, machine, compute_bounds(ddg, machine))
+        assert crit.boosted
+        demoted = crit.demote_all()
+        assert not demoted.boosted
+        assert demoted.critical == crit.critical
+
+    def test_demote_policy_hints_keeps_hlo(self, machine):
+        loop = _chase_with_fields()
+        # add a policy-hinted load alongside the HLO-hinted field load
+        field = loop.body[0]
+        assert field.memref.hint_source == "hlo"
+        ddg = build_ddg(loop)
+        crit = classify_loads(ddg, machine, compute_bounds(ddg, machine))
+        field.memref.hint_source = "policy"
+        gated = crit.demote_policy_hints()
+        assert field not in gated.boosted
+        field.memref.hint_source = "hlo"
+        kept = crit.demote_policy_hints()
+        assert field in kept.boosted
+
+    def test_tight_resource_bound_protects_ii(self, machine):
+        """A load on a cycle whose boosted length exceeds the Resource II
+        must be demoted to base latency (the whole point of Sec. 3.3)."""
+        b = LoopBuilder()
+        ptr = b.live_greg("p")
+        ref = b.memref("a", pattern=AccessPattern.POINTER_CHASE, size=8)
+        ref.hint = LatencyHint.L3
+        ref.hint_source = "hlo"
+        b.load_into("ld8", ptr, ptr, ref)
+        loop = b.build("tight")
+        ddg = build_ddg(loop)
+        bounds = compute_bounds(ddg, machine)
+        assert bounds.min_ii < 21
+        crit = classify_loads(ddg, machine, bounds)
+        assert loop.body[0] in crit.critical
+
+    def test_res_ii_threshold_variant(self, machine):
+        loop = _chase_with_fields()
+        ddg = build_ddg(loop)
+        bounds = compute_bounds(ddg, machine)
+        for threshold in ("min_ii", "res_ii"):
+            crit = classify_loads(ddg, machine, bounds, threshold=threshold)
+            assert loop.body[-1] in crit.critical
+
+    def test_unknown_threshold_rejected(self, machine):
+        import pytest
+
+        loop = _chase_with_fields()
+        ddg = build_ddg(loop)
+        bounds = compute_bounds(ddg, machine)
+        with pytest.raises(ValueError):
+            classify_loads(ddg, machine, bounds, threshold="wat")

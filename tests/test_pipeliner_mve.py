@@ -1,0 +1,96 @@
+"""Tests for modulo variable expansion (the rotation-free alternative)."""
+
+import pytest
+
+from repro.config import CompilerConfig, baseline_config
+from repro.ir.memref import LatencyHint
+from repro.pipeliner import pipeline_loop
+from repro.pipeliner.mve import generate_mve_kernel
+
+
+def _schedule(loop, machine, cfg=None):
+    result = pipeline_loop(loop, machine, cfg or baseline_config())
+    assert result.pipelined
+    return result
+
+
+class TestMVE:
+    def test_baseline_unroll_factor(self, running_example, machine):
+        result = _schedule(running_example, machine)
+        mve = generate_mve_kernel(result.schedule)
+        # longest lifetime spans 2 kernel iterations at II=1
+        assert mve.unroll_factor == 2
+        assert len(mve.copies) == 2
+        assert mve.kernel_ops == 2 * len(running_example.body)
+
+    def test_boosting_inflates_code_size(self, running_example, machine):
+        """The quantitative form of the paper's Sec. 5 argument: without
+        rotation, clustering costs code size proportional to k."""
+        base = _schedule(running_example, machine)
+        base_mve = generate_mve_kernel(base.schedule)
+
+        running_example.body[0].memref.hint = LatencyHint.L3
+        boosted = _schedule(
+            running_example, machine, CompilerConfig(trip_count_threshold=0)
+        )
+        boosted_mve = generate_mve_kernel(boosted.schedule)
+
+        k = boosted.stats.placements[0].clustering_factor(boosted.ii)
+        assert boosted_mve.unroll_factor >= k
+        assert boosted_mve.total_ops > base_mve.total_ops * 3
+        # while the rotating kernel stays at one body regardless
+        assert len(boosted.kernel.ops) == len(running_example.body)
+
+    def test_register_instances_match_blades(self, running_example, machine):
+        """MVE needs exactly as many register instances as the rotating
+        allocator assigns blade slots."""
+        from repro.ir.registers import RegClass
+
+        result = _schedule(running_example, machine)
+        mve = generate_mve_kernel(result.schedule)
+        rotating_gr = result.rotating.used[RegClass.GR]
+        gr_instances = sum(
+            n for reg, n in mve.instances.items()
+            if reg.rclass is RegClass.GR
+        )
+        assert gr_instances == rotating_gr
+
+    def test_cyclic_renaming_connects_def_use(self, running_example, machine):
+        result = _schedule(running_example, machine)
+        mve = generate_mve_kernel(result.schedule)
+        load_data = running_example.body[0].defs[0]
+        # copy 0 defines instance #0; the add one rotation later (copy 1)
+        # must read instance #0
+        copy1_add = next(
+            op for op in mve.copies[1] if op.inst.mnemonic == "add"
+        )
+        assert f"{load_data}#0" in copy1_add.renamed_uses
+        copy0_load = next(
+            op for op in mve.copies[0] if op.inst.is_load
+        )
+        assert copy0_load.renamed_defs[0] == f"{load_data}#0"
+
+    def test_prolog_epilog_accounting(self, running_example, machine):
+        result = _schedule(running_example, machine)
+        mve = generate_mve_kernel(result.schedule)
+        # 3 stages, one op each: prolog executes 1 then 2 ops; epilog
+        # mirrors with 2 then 1
+        assert mve.prolog_ops == 3
+        assert mve.epilog_ops == 3
+        assert mve.total_ops == mve.kernel_ops + 6
+
+    def test_format(self, running_example, machine):
+        result = _schedule(running_example, machine)
+        mve = generate_mve_kernel(result.schedule)
+        text = mve.format()
+        assert "unrolled x2" in text
+        assert "#0" in text and "copy 1" in text
+
+    def test_expansion_factor(self, running_example, machine):
+        result = _schedule(running_example, machine)
+        mve = generate_mve_kernel(result.schedule)
+        body = len(running_example.body)
+        assert mve.expansion_factor(body) == pytest.approx(
+            mve.total_ops / body
+        )
+        assert mve.expansion_factor(body) > 2.0

@@ -1,0 +1,129 @@
+"""Tests for Schedule metrics and kernel generation (paper Figs. 3 and 6)."""
+
+import pytest
+
+from repro.config import CompilerConfig, baseline_config
+from repro.ir.memref import LatencyHint
+from repro.pipeliner import pipeline_loop
+
+
+class TestScheduleMetrics:
+    def test_load_placement_metrics(self, running_example, machine):
+        result = pipeline_loop(running_example, machine, baseline_config())
+        placements = result.stats.placements
+        assert len(placements) == 1
+        p = placements[0]
+        assert p.use_distance == 1
+        assert p.additional_latency == 0
+        assert p.clustering_factor(result.ii) == 1
+        assert not p.boosted
+
+    def test_boosted_metrics_match_equation_3(self, running_example, machine):
+        """d = (k-1)·II (Equ. 3)."""
+        running_example.body[0].memref.hint = LatencyHint.L2
+        result = pipeline_loop(
+            running_example, machine, CompilerConfig(trip_count_threshold=0)
+        )
+        p = result.stats.placements[0]
+        assert p.boosted
+        assert p.use_distance == 11
+        assert p.additional_latency == 10
+        k = p.clustering_factor(result.ii)
+        assert p.additional_latency >= (k - 1) * result.ii
+
+    def test_coverage_ratio(self, running_example, machine):
+        running_example.body[0].memref.hint = LatencyHint.L2
+        result = pipeline_loop(
+            running_example, machine, CompilerConfig(trip_count_threshold=0)
+        )
+        p = result.stats.placements[0]
+        # runtime latency 14 (L3): exposable 13, covered 10
+        assert p.coverage_ratio(14) == pytest.approx(10 / 13)
+        assert p.coverage_ratio(1) == 1.0
+
+    def test_makespan_and_stages(self, running_example, machine):
+        result = pipeline_loop(running_example, machine, baseline_config())
+        sched = result.schedule
+        assert sched.makespan == 3
+        assert sched.stage_count == 3
+        assert sched.extra_kernel_iterations == 2
+
+    def test_format_contains_rows(self, running_example, machine):
+        result = pipeline_loop(running_example, machine, baseline_config())
+        text = result.schedule.format()
+        assert "II=1" in text and "stages=3" in text
+
+
+class TestKernelGeneration:
+    def test_fig3_baseline_kernel(self, running_example, machine):
+        """The paper's Fig. 3: stage predicates p16-p18, registers
+        r32-r35 threaded by rotation."""
+        result = pipeline_loop(running_example, machine, baseline_config())
+        kernel = result.kernel
+        assert kernel.ii == 1
+        assert kernel.stage_count == 3
+        text = kernel.format()
+        assert "(p16) ld4 r32" in text
+        assert "(p17) add r34 = r33" in text
+        assert "(p18) st4" in text and "r35" in text
+        assert "br.ctop" in text
+
+    def test_fig6_latency_tolerant_kernel(self, running_example, machine):
+        """The paper's Fig. 6 shape: with d=2 extra cycles the pipeline has
+        5 stages; the add reads three rotations after the load's def."""
+        # craft a hint translation giving exactly a 3-cycle load latency
+        from repro.machine.hints import HintTranslation
+
+        machine3 = machine.with_translation(
+            HintTranslation(name="d2", l2=3, l3=3)
+        )
+        running_example.body[0].memref.hint = LatencyHint.L2
+        result = pipeline_loop(
+            running_example, machine3, CompilerConfig(trip_count_threshold=0)
+        )
+        kernel = result.kernel
+        assert kernel.ii == 1
+        assert kernel.stage_count == 5
+        text = kernel.format()
+        assert "(p16) ld4 r32" in text
+        assert "(p19) add r36 = r35" in text  # exactly the paper's Fig. 6
+        assert "(p20) st4" in text and "r37" in text
+
+    def test_kernel_iterations_fill_drain(self, running_example, machine):
+        result = pipeline_loop(running_example, machine, baseline_config())
+        kernel = result.kernel
+        # trips + SC - 1 (Sec. 1.1)
+        assert kernel.total_kernel_iterations(100) == 102
+        assert kernel.total_kernel_iterations(0) == 0
+
+    def test_address_registers_stay_static(self, running_example, machine):
+        """Post-incremented address registers are not renamed (Fig. 6
+        keeps r5/r6 untouched)."""
+        result = pipeline_loop(running_example, machine, baseline_config())
+        text = result.kernel.format()
+        assert "[vr5]" in text  # still the virtual/static name
+        assert "[vr6]" in text
+
+    def test_rows_grouping(self, running_example, machine):
+        result = pipeline_loop(running_example, machine, baseline_config())
+        rows = result.kernel.rows()
+        assert len(rows) == result.ii
+        assert sum(len(r) for r in rows) == len(running_example.body)
+
+
+class TestWhileLoopKernels:
+    def test_while_loop_uses_br_wtop(self, machine):
+        """While loops pipeline with br.wtop and speculative fill — the
+        paper's mcf loop is a ``while (node)`` loop (Sec. 4.4)."""
+        from repro.workloads.loops import pointer_chase
+
+        loop, _ = pointer_chase("w", heap=1 << 20)
+        assert not loop.counted
+        loop.trip_count.estimate = 100.0
+        result = pipeline_loop(loop, machine, baseline_config())
+        assert result.pipelined
+        assert "br.wtop" in result.kernel.format()
+
+    def test_counted_loop_keeps_br_ctop(self, running_example, machine):
+        result = pipeline_loop(running_example, machine, baseline_config())
+        assert "br.ctop" in result.kernel.format()

@@ -1,0 +1,148 @@
+"""Tests for rotating and static register allocation."""
+
+import pytest
+
+from repro.config import CompilerConfig, baseline_config
+from repro.ddg import build_ddg
+from repro.errors import RegisterAllocationError
+from repro.ir import LoopBuilder
+from repro.ir.memref import LatencyHint
+from repro.ir.registers import RegClass, ROTATING_GR_BASE, ROTATING_PR_BASE
+from repro.pipeliner import classify_loads, compute_bounds, modulo_schedule
+from repro.pipeliner.driver import pipeline_loop
+from repro.regalloc import (
+    allocate_rotating,
+    allocate_static,
+    compute_lifetimes,
+)
+from repro.regalloc.lifetimes import is_self_recurrent
+
+
+def _scheduled(loop, machine, boost=False):
+    ddg = build_ddg(loop)
+    bounds = compute_bounds(ddg, machine)
+    crit = classify_loads(ddg, machine, bounds)
+    if not boost:
+        crit = crit.demote_all()
+    sched = modulo_schedule(ddg, machine, bounds.min_ii, crit)
+    assert sched is not None
+    return sched
+
+
+class TestLifetimes:
+    def test_running_example_spans(self, running_example, machine):
+        sched = _scheduled(running_example, machine)
+        lifetimes = {lt.reg: lt for lt in compute_lifetimes(sched)}
+        load_data = running_example.body[0].defs[0]
+        add_result = running_example.body[1].defs[0]
+        # II=1: load->add distance 1 -> span 2; add->store 1 -> span 2
+        assert lifetimes[load_data].span(sched.ii) == 2
+        assert lifetimes[add_result].span(sched.ii) == 2
+
+    def test_self_recurrent_excluded(self, running_example, machine):
+        sched = _scheduled(running_example, machine)
+        regs = {lt.reg for lt in compute_lifetimes(sched)}
+        for inst in running_example.body:
+            if inst.post_increment is not None:
+                assert inst.address_reg not in regs
+                assert is_self_recurrent(inst, inst.address_reg)
+
+    def test_boosting_stretches_lifetimes(self, running_example, machine):
+        running_example.body[0].memref.hint = LatencyHint.L3
+        base = _scheduled(running_example, machine, boost=False)
+        boosted = _scheduled(running_example, machine, boost=True)
+        load_data = running_example.body[0].defs[0]
+
+        def span_of(sched):
+            return {lt.reg: lt for lt in compute_lifetimes(sched)}[
+                load_data
+            ].span(sched.ii)
+
+        assert span_of(boosted) > span_of(base)
+        # the paper's rule: a clustering factor of k needs >= k registers
+        k = boosted.load_placements()[0].clustering_factor(boosted.ii)
+        assert span_of(boosted) >= k
+
+    def test_live_out_extension(self, machine):
+        b = LoopBuilder()
+        acc = b.live_freg("acc")
+        x = b.load("ldfd", b.live_greg("p"),
+                   b.memref("a", size=8, is_fp=True), post_inc=8)
+        y = b.fma(acc, x, x)
+        b.mark_live_out(y)
+        loop = b.build("lo")
+        sched = _scheduled(loop, machine)
+        lt = {l.reg: l for l in compute_lifetimes(sched)}[y]
+        assert lt.end_time >= lt.def_time + sched.ii
+
+
+class TestRotatingAllocation:
+    def test_fig3_blades(self, running_example, machine):
+        sched = _scheduled(running_example, machine)
+        alloc = allocate_rotating(sched, machine)
+        load_data = running_example.body[0].defs[0]
+        add_result = running_example.body[1].defs[0]
+        # the paper's Fig. 3: ld4 r32, add r34 = r33, st4 r35
+        assert alloc.physical_def(load_data) == ROTATING_GR_BASE
+        assert alloc.physical_use(load_data, 1) == 33
+        assert alloc.physical_def(add_result) == 34
+        assert alloc.physical_use(add_result, 1) == 35
+
+    def test_stage_predicates_reserved(self, running_example, machine):
+        sched = _scheduled(running_example, machine)
+        alloc = allocate_rotating(sched, machine)
+        assert alloc.used[RegClass.PR] == sched.stage_count
+
+    def test_capacity_failure(self, running_example, machine):
+        from repro.ir.registers import RegisterFile
+        from repro.machine import ItaniumMachine
+
+        files = dict(machine.register_files)
+        files[RegClass.GR] = RegisterFile(RegClass.GR, 36, 32, 3)
+        tiny = ItaniumMachine(register_files=files)
+        sched = _scheduled(running_example, machine)
+        with pytest.raises(RegisterAllocationError):
+            allocate_rotating(sched, tiny)
+
+    def test_read_past_blade_rejected(self, running_example, machine):
+        sched = _scheduled(running_example, machine)
+        alloc = allocate_rotating(sched, machine)
+        load_data = running_example.body[0].defs[0]
+        with pytest.raises(RegisterAllocationError):
+            alloc.physical_use(load_data, 99)
+
+    def test_utilization(self, running_example, machine):
+        sched = _scheduled(running_example, machine)
+        alloc = allocate_rotating(sched, machine)
+        assert 0 < alloc.utilization(RegClass.GR) < 0.2
+        assert alloc.utilization(RegClass.FR) == 0.0
+
+
+class TestStaticAllocation:
+    def test_live_ins_counted(self, running_example, machine):
+        sched = _scheduled(running_example, machine)
+        rot = allocate_rotating(sched, machine)
+        static = allocate_static(sched, rot.used)
+        # r5, r6, r9 live-in GRs (addresses + addend)
+        assert static.demand[RegClass.GR] == 3
+        assert static.spills == 0
+
+    def test_spills_when_demand_exceeds_supply(self, machine):
+        b = LoopBuilder()
+        acc = None
+        ref = b.memref("a", stride=4)
+        x = b.load("ld4", b.live_greg("p"), ref, post_inc=4)
+        acc = x
+        for i in range(25):  # more live-ins than static GR supply
+            acc = b.alu("add", acc, b.live_greg(f"inv{i}"))
+        loop = b.build("fat")
+        sched = _scheduled(loop, machine)
+        rot = allocate_rotating(sched, machine)
+        static = allocate_static(sched, rot.used)
+        assert static.spills > 0
+
+    def test_stacked_frame_tracks_rotating_use(self, running_example, machine):
+        sched = _scheduled(running_example, machine)
+        rot = allocate_rotating(sched, machine)
+        static = allocate_static(sched, rot.used)
+        assert static.stacked_frame >= rot.used[RegClass.GR]

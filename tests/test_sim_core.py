@@ -1,0 +1,188 @@
+"""Tests for the in-order core executor.
+
+The crown jewel is the cross-check against the paper's Sec. 2.1 theory: on
+the running example with a constant runtime load latency, the measured
+stall cycles must match ``n * (L - d) / k`` and the measured stall
+*reduction* must match Equ. (2).
+"""
+
+import pytest
+
+from repro.config import CompilerConfig, baseline_config
+from repro.core.theory import stall_reduction_percent
+from repro.ir import parse_loop
+from repro.ir.memref import LatencyHint
+from repro.machine.hints import HintTranslation
+from repro.pipeliner import pipeline_loop
+from repro.sim import prepare_execution, run_iterations
+from repro.sim.address import StreamSpec, build_streams
+from repro.sim.counters import PerfCounters
+from repro.sim.memory import AccessResult, MemorySystem
+from tests.conftest import RUNNING_EXAMPLE
+
+
+class FixedLatencyMemory(MemorySystem):
+    """Every load takes exactly ``latency`` cycles; stores are free."""
+
+    def __init__(self, latency: float) -> None:
+        super().__init__(bank_conflicts=False)
+        self.fixed = float(latency)
+
+    def load(self, addr, now, is_fp=False):
+        return AccessResult(self.fixed, 3, True)
+
+    def store(self, addr, now, is_fp=False):
+        return AccessResult(1.0, 2, False)
+
+    def prefetch(self, addr, now, l2_only=False, is_fp=False):
+        return AccessResult(0.0, 1, False)
+
+
+LAYOUT = {
+    "a": StreamSpec(size=1 << 20, reuse=False),
+    "b": StreamSpec(size=1 << 20, reuse=False),
+}
+
+
+def _run(machine, d_extra, runtime_latency, n=400, ozq=48):
+    """Compile the running example with a scheduled distance of
+    ``1 + d_extra`` and execute it at a fixed runtime latency."""
+    loop = parse_loop(RUNNING_EXAMPLE)
+    if d_extra > 0:
+        loop.body[0].memref.hint = LatencyHint.L2
+        m = machine.with_translation(
+            HintTranslation(name="x", l2=1 + d_extra, max_scheduled=100)
+        )
+        cfg = CompilerConfig(trip_count_threshold=0, prefetch=False)
+    else:
+        m = machine
+        cfg = baseline_config()
+    result = pipeline_loop(loop, m, cfg)
+    assert result.pipelined and result.ii == 1
+    setup = prepare_execution(result, m)
+    streams = build_streams(loop, LAYOUT, n)
+    counters = PerfCounters()
+    memory = FixedLatencyMemory(runtime_latency)
+    run_iterations(setup, streams, 0, n, memory, ozq, counters)
+    return result, counters
+
+
+class TestStallOnUse:
+    """Cross-checks against Sec. 2.1.
+
+    The paper's clustering factor k = d//II + 1 (Equ. 3) is a *guaranteed
+    minimum* ("Doing so will guarantee clustering of k successive
+    instances"): a load issued in the same cycle as the stalling use has
+    already been dispatched, so the effective clustering factor of the
+    executed schedule is ``use_distance//II + 1 = k + base//II`` — one more
+    than the paper's conservative count (hand-simulating the paper's own
+    Fig. 4 confirms: the 11-cycle stall recurs every *four* iterations).
+    The simulator matches the exact model; Equ. (2) holds with k_eff.
+    """
+
+    @staticmethod
+    def _k_eff(result):
+        placement = result.stats.placements[0]
+        return placement.use_distance // result.ii + 1
+
+    def test_baseline_stall_per_iteration(self, machine):
+        """d=0, use distance 1: one load already in flight -> every other
+        use stalls L cycles (k_eff = 2)."""
+        n, latency = 400, 14
+        result, counters = _run(machine, 0, latency, n=n)
+        expected = n * (latency - 1) / self._k_eff(result)
+        assert counters.be_exe_bubble == pytest.approx(expected, rel=0.05)
+
+    @pytest.mark.parametrize("d", [2, 5, 9, 13])
+    def test_section21_formula(self, machine, d):
+        """Measured stalls = n (L - d) / k_eff (Sec. 2.1, exact form)."""
+        n, latency = 400, 14
+        L = latency - 1
+        result, counters = _run(machine, d, latency, n=n)
+        expected = n * max(0, L - d) / self._k_eff(result)
+        assert counters.be_exe_bubble == pytest.approx(expected, rel=0.05)
+
+    def test_paper_k_is_a_lower_bound(self, machine):
+        """Equ. (3) guarantees *at least* k clustered instances."""
+        result, _ = _run(machine, 2, 14, n=50)
+        placement = result.stats.placements[0]
+        paper_k = placement.clustering_factor(result.ii)
+        assert self._k_eff(result) >= paper_k
+
+    def test_equation2_stall_reduction(self, machine):
+        """End-to-end validation of Equ. (2) with the effective k."""
+        n, latency = 600, 14
+        L = latency - 1
+        base_result, base = _run(machine, 0, latency, n=n)
+        k0 = self._k_eff(base_result)
+        for d in (2, 6):
+            result, boosted = _run(machine, d, latency, n=n)
+            k = self._k_eff(result)
+            measured = 100.0 * (1 - boosted.be_exe_bubble / base.be_exe_bubble)
+            # both sides normalised by the baseline's own clustering
+            predicted = 100.0 * (1 - ((L - d) / k) / (L / k0))
+            assert measured == pytest.approx(predicted, abs=2.0)
+
+    def test_full_coverage_removes_stalls(self, machine):
+        _, counters = _run(machine, 13, 14, n=300)
+        assert counters.be_exe_bubble == pytest.approx(0.0, abs=20)
+
+    def test_unstalled_counts_kernel_issue(self, machine):
+        n = 100
+        result, counters = _run(machine, 0, 14, n=n)
+        kernel_iters = n + result.stats.stage_count - 1
+        assert counters.unstalled == kernel_iters * result.ii
+        assert counters.kernel_iterations == kernel_iters
+        assert counters.source_iterations == n
+
+
+class TestOzQ:
+    def test_ozq_capacity_one_serialises(self, machine):
+        """With a single outstanding request, memory-level parallelism is
+        gone and total stalls grow accordingly (the MLP ablation)."""
+        _, wide = _run(machine, 9, 100, n=200, ozq=48)
+        _, narrow = _run(machine, 9, 100, n=200, ozq=1)
+        assert narrow.be_l1d_fpu_bubble > 0
+        total_wide = wide.be_exe_bubble + wide.be_l1d_fpu_bubble
+        total_narrow = narrow.be_exe_bubble + narrow.be_l1d_fpu_bubble
+        assert total_narrow > total_wide * 1.5
+
+    def test_ozq_full_cycles_tracked(self, machine):
+        """ozq_full_cycles integrates the wall-time the queue sits at
+        capacity (the L2D_OZQ_FULL semantics), which bounds the stall
+        time demand accesses spend waiting on it from above."""
+        _, narrow = _run(machine, 9, 100, n=200, ozq=1)
+        assert narrow.ozq_full_cycles > 0
+        assert narrow.ozq_full_cycles >= narrow.be_l1d_fpu_bubble * 0.9
+
+
+class TestStallAttribution:
+    def test_stalls_attributed_to_consumer(self, machine):
+        _, counters = _run(machine, 0, 14, n=100)
+        assert counters.stall_by_consumer
+        (key, cycles), = [
+            (k, v) for k, v in counters.stall_by_consumer.items() if v > 0
+        ]
+        assert ":add" in key
+        assert cycles == pytest.approx(counters.be_exe_bubble)
+
+
+class TestCountersPlumbing:
+    def test_merge_and_scaled(self):
+        a = PerfCounters(unstalled=10, be_exe_bubble=5)
+        a.record_load_level(2)
+        b = PerfCounters(unstalled=1, be_exe_bubble=2)
+        b.record_load_level(2)
+        b.attribute_stall("x", 3.0)
+        a.merge(b)
+        assert a.unstalled == 11
+        assert a.loads_by_level[2] == 2
+        assert a.stall_by_consumer["x"] == 3.0
+        half = a.scaled(0.5)
+        assert half.unstalled == 5.5
+        assert half.total_cycles == pytest.approx(a.total_cycles / 2)
+
+    def test_summary_text(self):
+        c = PerfCounters(unstalled=50, be_exe_bubble=50)
+        text = c.summary()
+        assert "unstalled=50 (50.0%)" in text
