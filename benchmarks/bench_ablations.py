@@ -13,9 +13,8 @@
 import numpy as np
 import pytest
 
-from benchmarks.conftest import base_cfg, hlo_cfg
+from benchmarks.conftest import base_cfg, hlo_cfg, run_compare
 from repro.config import CompilerConfig
-from repro.core import Experiment
 from repro.core.compiler import LoopCompiler
 from repro.hlo.profiles import collect_block_profile
 from repro.ir.memref import LatencyHint
@@ -24,17 +23,30 @@ from repro.sim import MemorySystem, simulate_loop
 from repro.workloads import benchmark_by_name
 
 
-def test_ablation_hint_translation(benchmark, record):
-    """Typical-latency translation beats best-case translation."""
+def test_ablation_hint_translation(benchmark, record, harness_cache,
+                                   harness_jobs):
+    """Typical-latency translation beats best-case translation.
+
+    Both machine variants run through the harness; the machine parameters
+    are part of the cache key, so the two sweeps never cross-contaminate.
+    """
     bench_names = ["444.namd", "481.wrf", "429.mcf"]
     benches = [benchmark_by_name(n) for n in bench_names]
 
-    typical = Experiment(benches, machine=ItaniumMachine(), seed=2008)
-    res_typical = typical.compare(base_cfg(), hlo_cfg())
+    res_typical = run_compare(
+        benches, base_cfg(), [hlo_cfg()],
+        machine=ItaniumMachine(),
+        cache=harness_cache, workers=harness_jobs,
+        suite_name="ablation-typical",
+    )[hlo_cfg().label]
 
     best_machine = ItaniumMachine().with_translation(BEST_CASE_TRANSLATION)
-    best = Experiment(benches, machine=best_machine, seed=2008)
-    res_best = best.compare(base_cfg(), hlo_cfg())
+    res_best = run_compare(
+        benches, base_cfg(), [hlo_cfg()],
+        machine=best_machine,
+        cache=harness_cache, workers=harness_jobs,
+        suite_name="ablation-best-case",
+    )[hlo_cfg().label]
 
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     lines = [f"{'bench':<12}{'typical':>10}{'best-case':>11}"]
@@ -100,14 +112,18 @@ def test_ablation_criticality_off(benchmark, record, machine):
     assert off_sim.cycles > on_sim.cycles * 1.2
 
 
-def test_ablation_mlp(benchmark, record):
+def test_ablation_mlp(benchmark, record, harness_cache, harness_jobs):
     """Clustering needs memory-level parallelism: a 1-entry OzQ kills it."""
     bench = benchmark_by_name("429.mcf")
     results = {}
     for label, capacity in (("ozq-48", 48), ("ozq-1", 1)):
         machine = ItaniumMachine().with_ozq_capacity(capacity)
-        exp = Experiment([bench], machine=machine, seed=2008)
-        res = exp.compare(base_cfg(), hlo_cfg())
+        res = run_compare(
+            [bench], base_cfg(), [hlo_cfg()],
+            machine=machine,
+            cache=harness_cache, workers=harness_jobs,
+            suite_name=f"ablation-{label}",
+        )[hlo_cfg().label]
         results[label] = res.gains["429.mcf"]
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     record(

@@ -5,35 +5,57 @@ HLO-directed hints on top of that default.  The paper reports 1.1%/0.6%
 for the default alone and 2.0%/1.3% with HLO hints — "almost twice the
 speedup as just the default setting" — with the mesa loss gone and mcf
 now gaining through its integer loads.
+
+Both bars come out of one :func:`repro.harness.run_suite` grid sharing
+the session artifact cache with the Fig. 7 sweep (the baseline cells are
+identical and hit the cache).
 """
 
 import pytest
 
-from benchmarks.conftest import base_cfg, fp_l2_cfg, hlo_cfg
+from benchmarks.conftest import base_cfg, fp_l2_cfg, hlo_cfg, run_compare
 from repro.core import format_gain_table
+from repro.workloads import cpu2000_suite, cpu2006_suite
 
 
 @pytest.fixture(scope="module")
-def fig8_2006(exp2006):
-    base = base_cfg()
+def fig8_2006(harness_cache, harness_jobs):
+    results = run_compare(
+        cpu2006_suite(),
+        base_cfg(),
+        [fp_l2_cfg(), hlo_cfg()],
+        cache=harness_cache,
+        workers=harness_jobs,
+        suite_name="cpu2006",
+    )
     return {
-        "fp-l2": exp2006.compare(base, fp_l2_cfg()),
-        "hlo": exp2006.compare(base, hlo_cfg()),
+        "fp-l2": results[fp_l2_cfg().label],
+        "hlo": results[hlo_cfg().label],
     }
 
 
 @pytest.fixture(scope="module")
-def fig8_2000(exp2000):
-    base = base_cfg()
+def fig8_2000(harness_cache, harness_jobs):
+    results = run_compare(
+        cpu2000_suite(),
+        base_cfg(),
+        [fp_l2_cfg(), hlo_cfg()],
+        cache=harness_cache,
+        workers=harness_jobs,
+        suite_name="cpu2000",
+    )
     return {
-        "fp-l2": exp2000.compare(base, fp_l2_cfg()),
-        "hlo": exp2000.compare(base, hlo_cfg()),
+        "fp-l2": results[fp_l2_cfg().label],
+        "hlo": results[hlo_cfg().label],
     }
 
 
-def test_fig8_cpu2006(benchmark, record, exp2006, fig8_2006):
+def test_fig8_cpu2006(benchmark, record, harness_cache, harness_jobs, fig8_2006):
     benchmark.pedantic(
-        lambda: exp2006.compare(base_cfg(), hlo_cfg()),
+        lambda: run_compare(
+            cpu2006_suite(), base_cfg(), [hlo_cfg()],
+            cache=harness_cache, workers=harness_jobs, suite_name="cpu2006",
+        ),
         rounds=1, iterations=1,
     )
     record(

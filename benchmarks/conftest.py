@@ -5,16 +5,23 @@ between figures (Fig. 8's HLO run is also Fig. 10's variant, etc.).  Every
 bench prints the same rows/series the paper reports and appends them to
 ``results/`` next to this directory, which is where EXPERIMENTS.md numbers
 come from.
+
+The figure sweeps (Fig. 7/8, ablations) run through ``repro.harness``: a
+session-scoped artifact cache deduplicates the shared cells (every sweep
+column re-uses the same baseline run), and ``REPRO_BENCH_JOBS=N`` in the
+environment fans the cell jobs out over N worker processes.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 from repro.config import CompilerConfig, HintPolicy, baseline_config
 from repro.core import Experiment
+from repro.harness import ArtifactCache, compare_configs, run_suite
 from repro.machine import ItaniumMachine
 from repro.workloads import cpu2000_suite, cpu2006_suite
 
@@ -24,6 +31,44 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 @pytest.fixture(scope="session")
 def machine() -> ItaniumMachine:
     return ItaniumMachine()
+
+
+@pytest.fixture(scope="session")
+def harness_cache(tmp_path_factory) -> ArtifactCache:
+    """One artifact cache per session: figure sweeps share cells."""
+    return ArtifactCache(tmp_path_factory.mktemp("artifact-cache"))
+
+
+@pytest.fixture(scope="session")
+def harness_jobs() -> int:
+    """Worker count for harness sweeps (REPRO_BENCH_JOBS, default serial)."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+def run_compare(
+    benchmarks,
+    base: CompilerConfig,
+    variants: list[CompilerConfig],
+    *,
+    cache: ArtifactCache | None = None,
+    workers: int = 1,
+    machine: ItaniumMachine | None = None,
+    suite_name: str = "",
+):
+    """Harness sweep helper: one grid run, one comparison per variant."""
+    run = run_suite(
+        benchmarks,
+        [base] + list(variants),
+        machine=machine,
+        workers=workers,
+        cache=cache,
+        seed=2008,
+        suite_name=suite_name,
+    )
+    return {
+        variant.label: compare_configs(run, base.label, variant.label)
+        for variant in variants
+    }
 
 
 @pytest.fixture(scope="session")

@@ -1,11 +1,14 @@
 """Command-line interface.
 
-Four subcommands::
+Six subcommands::
 
     python -m repro compile loop.s --policy hlo        # kernel + stats
     python -m repro simulate loop.s --trips 2000 --invocations 3 \\
         --space a=64M --space b=64M                    # cycles + counters
-    python -m repro experiment --suite cpu2006 --variant hlo -n 32
+    python -m repro experiment --suite cpu2006 --policy hlo -n 32 \\
+        --jobs 4 --cache-dir .repro-cache
+    python -m repro bench --suite cpu2006 --jobs 8     # parallel sweep
+    python -m repro compare runA.json runB.json        # manifest diff
     python -m repro fig5                               # the theory curves
 
 The loop file format is the textual dialect of
@@ -20,20 +23,44 @@ import sys
 from repro.config import CompilerConfig, HintPolicy, baseline_config
 from repro.errors import ReproError
 
-_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+#: longest suffixes first so ``kb`` wins over ``b``-less ``k``
+_SUFFIXES = (
+    ("kb", 1 << 10), ("mb", 1 << 20), ("gb", 1 << 30),
+    ("k", 1 << 10), ("m", 1 << 20), ("g", 1 << 30),
+)
 
 
 def parse_size(text: str) -> int:
-    """``64M`` -> 67108864; plain integers pass through."""
+    """``64M``/``64mb`` -> 67108864; plain positive integers pass through."""
+    raw = text
     text = text.strip().lower()
-    for suffix, factor in _SUFFIXES.items():
+    factor = 1
+    for suffix, suffix_factor in _SUFFIXES:
         if text.endswith(suffix):
-            return int(float(text[:-1]) * factor)
-    return int(text)
+            factor = suffix_factor
+            text = text[: -len(suffix)]
+            break
+    try:
+        value = int(float(text) * factor)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid size {raw!r}: expected a number with an optional "
+            "K/M/G or KB/MB/GB suffix, e.g. 64M or 512kb"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"invalid size {raw!r}: size must be positive"
+        )
+    return value
+
+
+#: valid per-space flags: ``stream`` = cold streaming access, ``reuse`` =
+#: resident/pre-warmed (the default when no flag is given)
+_SPACE_FLAGS = ("stream", "reuse")
 
 
 def parse_space(text: str):
-    """``name=64M[:stream]`` -> (name, StreamSpec).
+    """``name=64M[:stream|:reuse]`` -> (name, StreamSpec).
 
     ``:stream`` marks a streaming (cold) space; the default is a reused
     (resident, pre-warmed) one.
@@ -41,11 +68,21 @@ def parse_space(text: str):
     from repro.sim.address import StreamSpec
 
     name, _, rest = text.partition("=")
+    name = name.strip()
     if not rest:
         raise argparse.ArgumentTypeError(
-            f"expected name=SIZE[:stream], got {text!r}"
+            f"expected name=SIZE[:stream|:reuse], got {text!r}"
         )
-    size_text, _, flag = rest.partition(":")
+    if not name:
+        raise argparse.ArgumentTypeError(
+            f"empty space name in {text!r}: expected name=SIZE[:stream|:reuse]"
+        )
+    size_text, sep, flag = rest.partition(":")
+    if sep and flag not in _SPACE_FLAGS:
+        raise argparse.ArgumentTypeError(
+            f"unknown space flag {flag!r} in {text!r}: "
+            f"expected one of {', '.join(_SPACE_FLAGS)}"
+        )
     reuse = flag != "stream"
     return name, StreamSpec(size=parse_size(size_text), reuse=reuse)
 
@@ -140,24 +177,110 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_experiment(args: argparse.Namespace) -> int:
-    from repro.core import Experiment, format_gain_table
-    from repro.workloads import cpu2000_suite, cpu2006_suite
+def _load_suite(args: argparse.Namespace) -> list | None:
+    from repro.workloads import suite_by_name
 
-    suite = cpu2006_suite() if args.suite == "cpu2006" else cpu2000_suite()
+    suite = suite_by_name(args.suite)
     if args.benchmark:
         suite = [b for b in suite if b.name in args.benchmark]
         if not suite:
             print("error: no matching benchmarks", file=sys.stderr)
-            return 2
-    exp = Experiment(suite, seed=args.seed)
+            return None
+    return suite
+
+
+def _open_cache(args: argparse.Namespace):
+    from repro.harness import ArtifactCache
+
+    if getattr(args, "no_cache", False) or not args.cache_dir:
+        return None
+    return ArtifactCache(args.cache_dir)
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.core import format_gain_table
+    from repro.harness import compare_configs, run_suite
+
+    suite = _load_suite(args)
+    if suite is None:
+        return 2
     base = baseline_config(pgo=not args.no_pgo, prefetch=not args.no_prefetch)
     variant = make_config(args)
-    result = exp.compare(base, variant)
+    run = run_suite(
+        suite,
+        [base, variant],
+        seed=args.seed,
+        workers=args.jobs,
+        cache=_open_cache(args),
+        suite_name=args.suite,
+    )
+    result = compare_configs(run, base.label, variant.label)
     print(format_gain_table(
         {variant.label: result},
         title=f"{args.suite} — {variant.label} vs {base.label}",
     ))
+    return 0
+
+
+def _bench_configs(args: argparse.Namespace) -> tuple[CompilerConfig, list]:
+    """The baseline plus one variant config per requested policy."""
+    base = baseline_config(pgo=not args.no_pgo, prefetch=not args.no_prefetch)
+    variants = []
+    for policy_name in args.config or ["hlo"]:
+        policy = HintPolicy(policy_name)
+        if policy is HintPolicy.BASELINE:
+            continue  # the baseline column is always present
+        variants.append(CompilerConfig(
+            hint_policy=policy,
+            trip_count_threshold=args.threshold,
+            pgo=not args.no_pgo,
+            prefetch=not args.no_prefetch,
+        ))
+    return base, variants
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.core import format_gain_table
+    from repro.harness import compare_configs, run_suite
+    from repro.harness.pool import default_manifest_path, default_workers
+
+    suite = _load_suite(args)
+    if suite is None:
+        return 2
+    base, variants = _bench_configs(args)
+    workers = args.jobs if args.jobs is not None else default_workers()
+    manifest_path = args.manifest or default_manifest_path(args.suite)
+    run = run_suite(
+        suite,
+        [base] + variants,
+        seed=args.seed,
+        workers=workers,
+        cache=_open_cache(args),
+        timeout=args.timeout,
+        suite_name=args.suite,
+        manifest_path=manifest_path,
+    )
+    if variants:
+        results = {
+            variant.label: compare_configs(run, base.label, variant.label)
+            for variant in variants
+        }
+        print(format_gain_table(
+            results, title=f"{args.suite} — variants vs {base.label}",
+        ))
+        print()
+    print(run.manifest.summary())
+    print(f"manifest: {manifest_path}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.harness import RunManifest, compare_manifests, format_comparison
+
+    manifest_a = RunManifest.load(args.manifest_a)
+    manifest_b = RunManifest.load(args.manifest_b)
+    comparison = compare_manifests(manifest_a, manifest_b)
+    print(format_comparison(comparison))
     return 0
 
 
@@ -201,13 +324,61 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.set_defaults(func=cmd_simulate)
 
     p_exp = sub.add_parser("experiment", help="run a suite comparison")
-    p_exp.add_argument("--suite", choices=["cpu2006", "cpu2000"],
+    p_exp.add_argument("--suite", choices=["cpu2006", "cpu2000", "micro"],
                        default="cpu2006")
     p_exp.add_argument("--benchmark", action="append",
                        help="restrict to specific benchmarks")
     p_exp.add_argument("--seed", type=int, default=2008)
+    p_exp.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (default: 1, serial)")
+    p_exp.add_argument("--cache-dir", metavar="PATH",
+                       help="content-addressed artifact cache directory")
+    p_exp.add_argument("--no-cache", action="store_true",
+                       help="ignore the artifact cache")
     _add_config_args(p_exp)
     p_exp.set_defaults(func=cmd_experiment)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="parallel, cached suite sweep with a run manifest",
+    )
+    p_bench.add_argument("--suite", choices=["cpu2006", "cpu2000", "micro"],
+                         default="cpu2006")
+    p_bench.add_argument("--benchmark", action="append",
+                         help="restrict to specific benchmarks")
+    p_bench.add_argument(
+        "--config", action="append", metavar="POLICY",
+        choices=[p.value for p in HintPolicy],
+        help="variant hint policy; repeatable (default: hlo)",
+    )
+    p_bench.add_argument("--seed", type=int, default=2008)
+    p_bench.add_argument("-n", "--threshold", type=int, default=32,
+                         help="trip-count threshold (default: 32)")
+    p_bench.add_argument("--no-pgo", action="store_true",
+                         help="use the static profile heuristic")
+    p_bench.add_argument("--no-prefetch", action="store_true",
+                         help="disable software prefetching")
+    p_bench.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="worker processes (default: CPU count, max 8)")
+    p_bench.add_argument(
+        "--cache-dir", metavar="PATH",
+        default="benchmarks/results/cache",
+        help="artifact cache directory "
+             "(default: benchmarks/results/cache)",
+    )
+    p_bench.add_argument("--no-cache", action="store_true",
+                         help="ignore the artifact cache")
+    p_bench.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS", help="per-job timeout")
+    p_bench.add_argument("--manifest", metavar="PATH",
+                         help="manifest output path "
+                              "(default: benchmarks/results/runs/<stamp>.json)")
+    p_bench.set_defaults(func=cmd_bench)
+
+    p_cmp = sub.add_parser("compare", help="diff two run manifests")
+    p_cmp.add_argument("manifest_a")
+    p_cmp.add_argument("manifest_b")
+    p_cmp.set_defaults(func=cmd_compare)
 
     p_fig5 = sub.add_parser("fig5", help="print the Fig. 5 theory curves")
     p_fig5.add_argument("--max-k", type=int, default=8)

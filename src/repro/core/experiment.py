@@ -8,87 +8,30 @@ the runtime ratios.
 Determinism guarantees that percentage differences are pure compiler
 effects: for one benchmark, the per-invocation trip counts, address
 streams and dataset seeds are identical across configurations.
+
+The per-cell run logic lives in :mod:`repro.harness.jobs` as pure
+functions; :class:`Experiment` is the convenient in-process driver that
+memoises profiles, serial anchors and finished results across calls.  For
+parallel or disk-cached sweeps use :func:`repro.harness.run_suite`, which
+executes the same job functions and produces bit-identical results.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
 from repro.config import CompilerConfig, baseline_config
-from repro.core.compiler import CompiledLoop, LoopCompiler
-from repro.hlo.profiles import BlockProfile, collect_block_profile, geometric_mean
+from repro.core.results import (  # noqa: F401  (re-exported API)
+    SERIAL_SPLIT,
+    BenchmarkResult,
+    ExperimentResult,
+    LoopOutcome,
+    percent_gain,
+)
+# module-object import: stays valid even when repro.harness is mid-import
+# (repro.harness.jobs pulls in repro.core, which imports this module)
+from repro.harness import jobs as _jobs
+from repro.hlo.profiles import BlockProfile
 from repro.machine.itanium2 import ItaniumMachine
-from repro.sim.counters import PerfCounters
-from repro.sim.executor import simulate_loop
-from repro.sim.memory import MemorySystem
 from repro.workloads.spec import Benchmark
-
-#: how the serial (non-loop) component of a benchmark splits into the
-#: cycle-accounting buckets — identical under every config by construction
-SERIAL_SPLIT = {
-    "unstalled": 0.52,
-    "be_exe_bubble": 0.28,
-    "be_l1d_fpu_bubble": 0.07,
-    "be_rse_bubble": 0.04,
-    "be_flush_bubble": 0.05,
-    "back_end_bubble_fe": 0.04,
-}
-
-
-@dataclass
-class LoopOutcome:
-    """Per-loop compile + simulate outcome within one benchmark run."""
-
-    compiled: CompiledLoop
-    cycles: float
-    counters: PerfCounters
-
-
-@dataclass
-class BenchmarkResult:
-    """One benchmark under one configuration."""
-
-    name: str
-    suite: str
-    config_label: str
-    loop_cycles: float
-    serial_cycles: float
-    counters: PerfCounters
-    loops: list[LoopOutcome] = field(default_factory=list)
-
-    @property
-    def total_cycles(self) -> float:
-        return self.loop_cycles + self.serial_cycles
-
-
-@dataclass
-class ExperimentResult:
-    """A baseline-vs-variant comparison over one suite."""
-
-    baseline_label: str
-    variant_label: str
-    #: benchmark name -> percent gain over baseline (positive = faster)
-    gains: dict[str, float]
-    baseline: dict[str, BenchmarkResult]
-    variant: dict[str, BenchmarkResult]
-
-    @property
-    def geomean_gain(self) -> float:
-        ratios = [
-            self.baseline[name].total_cycles / self.variant[name].total_cycles
-            for name in self.gains
-        ]
-        return (geometric_mean(ratios) - 1.0) * 100.0
-
-    def gain(self, name: str) -> float:
-        return self.gains[name]
-
-
-def percent_gain(baseline_cycles: float, variant_cycles: float) -> float:
-    """Speedup percentage: positive when the variant is faster."""
-    return (baseline_cycles / variant_cycles - 1.0) * 100.0
 
 
 class Experiment:
@@ -111,60 +54,25 @@ class Experiment:
     def _profile_for(self, bench: Benchmark) -> BlockProfile:
         """The PGO block profile from the training input (cached)."""
         if bench.name not in self._profiles:
-            dists = {}
-            for lw in bench.loops:
-                loop, _ = lw.build()
-                dists[loop.name] = lw.data.train
-            self._profiles[bench.name] = collect_block_profile(
-                dists, seed=self.seed
+            self._profiles[bench.name] = _jobs.collect_profile(
+                bench, self.seed
             )
         return self._profiles[bench.name]
 
     def _serial_cycles(self, bench: Benchmark) -> float:
         """Non-loop cycles: anchored to the canonical baseline run."""
         if bench.name not in self._serial_anchor:
-            anchor = self._run_loops(bench, baseline_config())
+            anchor = _jobs.run_loops(
+                bench,
+                baseline_config(),
+                self.machine,
+                self.seed,
+                profile=self._profile_for(bench),
+            )
             self._serial_anchor[bench.name] = (
-                bench.serial_factor * anchor[0]
+                bench.serial_factor * anchor.loop_cycles
             )
         return self._serial_anchor[bench.name]
-
-    def _run_loops(
-        self, bench: Benchmark, config: CompilerConfig
-    ) -> tuple[float, PerfCounters, list[LoopOutcome]]:
-        compiler = LoopCompiler(self.machine, config)
-        profile = self._profile_for(bench) if config.pgo else None
-        total = 0.0
-        counters = PerfCounters()
-        outcomes: list[LoopOutcome] = []
-        for pos, lw in enumerate(bench.loops):
-            loop, layout = lw.build()
-            compiled = compiler.compile(loop, profile)
-            rng = np.random.default_rng(self.seed + pos * 977 + _stable(bench.name))
-            trips = lw.data.ref.sample(rng, lw.invocations)
-            memory = MemorySystem(self.machine.timings)
-            sim = simulate_loop(
-                compiled.result,
-                self.machine,
-                layout,
-                trips,
-                memory=memory,
-                seed=self.seed + pos,
-            )
-            total += sim.cycles * lw.weight
-            counters.merge(
-                sim.counters.scaled(lw.weight)
-                if lw.weight != 1.0
-                else sim.counters
-            )
-            outcomes.append(
-                LoopOutcome(
-                    compiled=compiled,
-                    cycles=sim.cycles * lw.weight,
-                    counters=sim.counters,
-                )
-            )
-        return total, counters, outcomes
 
     # --- public API ---------------------------------------------------------
     def run_benchmark(
@@ -173,21 +81,15 @@ class Experiment:
         key = (bench.name, config.label)
         if key in self._cache:
             return self._cache[key]
-        loop_cycles, counters, outcomes = self._run_loops(bench, config)
-        serial = self._serial_cycles(bench)
-        for bucket, share in SERIAL_SPLIT.items():
-            setattr(
-                counters, bucket, getattr(counters, bucket) + serial * share
-            )
-        result = BenchmarkResult(
-            name=bench.name,
-            suite=bench.suite,
-            config_label=config.label,
-            loop_cycles=loop_cycles,
-            serial_cycles=serial,
-            counters=counters,
-            loops=outcomes,
+        loop_run = _jobs.run_loops(
+            bench,
+            config,
+            self.machine,
+            self.seed,
+            profile=self._profile_for(bench) if config.pgo else None,
         )
+        serial = self._serial_cycles(bench)
+        result = _jobs.assemble_result(bench, config, loop_run, serial)
         self._cache[key] = result
         return result
 
@@ -213,11 +115,3 @@ class Experiment:
             baseline=base,
             variant=var,
         )
-
-
-def _stable(text: str) -> int:
-    """Deterministic small hash (``hash`` is salted per process)."""
-    value = 0
-    for ch in text:
-        value = (value * 131 + ord(ch)) % 1_000_003
-    return value

@@ -52,3 +52,7 @@ class WorkloadError(ReproError):
 
 class ConfigError(ReproError):
     """An invalid compiler configuration was supplied."""
+
+
+class HarnessError(ReproError):
+    """The experiment harness failed (job timeout, bad manifest, ...)."""

@@ -1,0 +1,60 @@
+"""Parallel experiment orchestration with a content-addressed cache.
+
+The harness decomposes a suite experiment into pure, picklable
+(benchmark, config) jobs (:mod:`repro.harness.jobs`), schedules them over
+a process pool (:mod:`repro.harness.pool`), memoises compile+simulate
+outcomes in an on-disk content-addressed cache
+(:mod:`repro.harness.cache`), records every run in a JSON manifest
+(:mod:`repro.harness.manifest`), and diffs manifests
+(:mod:`repro.harness.compare`).
+
+Typical use::
+
+    from repro.harness import ArtifactCache, run_suite, compare_configs
+
+    cache = ArtifactCache("benchmarks/results/cache")
+    run = run_suite(cpu2006_suite(), [baseline, variant],
+                    workers=8, cache=cache, suite_name="cpu2006")
+    result = compare_configs(run, baseline.label, variant.label)
+"""
+
+from repro.harness.cache import ArtifactCache, CacheStats, hash_key
+from repro.harness.jobs import (
+    BenchmarkJob,
+    JobOutcome,
+    collect_profile,
+    loop_run_key,
+    run_job,
+    run_loops,
+)
+from repro.harness.manifest import CellRecord, RunManifest, current_git_sha
+from repro.harness.compare import (
+    CellDelta,
+    ManifestComparison,
+    compare_manifests,
+    format_comparison,
+)
+from repro.harness.pool import SuiteRun, compare_configs, run_jobs, run_suite
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "hash_key",
+    "BenchmarkJob",
+    "JobOutcome",
+    "collect_profile",
+    "loop_run_key",
+    "run_job",
+    "run_loops",
+    "CellRecord",
+    "RunManifest",
+    "current_git_sha",
+    "CellDelta",
+    "ManifestComparison",
+    "compare_manifests",
+    "format_comparison",
+    "SuiteRun",
+    "compare_configs",
+    "run_jobs",
+    "run_suite",
+]

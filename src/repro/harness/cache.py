@@ -1,0 +1,108 @@
+"""Content-addressed on-disk cache for compile + simulate outcomes.
+
+A cache entry is addressed by the SHA-256 of a canonical JSON description
+of everything the outcome depends on: the loop IR text, the memory-space
+layout, the dataset distributions, the :class:`~repro.config.CompilerConfig`
+knobs, the machine/memory parameters, and the dataset seed (the key
+material is assembled in :func:`repro.harness.jobs.loop_run_key`).  Because
+the whole pipeline is deterministic, two runs with the same key produce
+bit-identical cycles and counters — so serving the second from disk is
+behaviour-preserving, and repeated sweeps cost one JSON read per cell.
+
+Entries are JSON files under ``root/<k[:2]>/<k>.json``.  Writes go through
+a temporary file plus :func:`os.replace`, so concurrent pool workers can
+share one cache directory without torn reads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+#: bump when the payload layout or key material changes incompatibly
+CACHE_FORMAT_VERSION = 1
+
+
+def hash_key(material: dict) -> str:
+    """SHA-256 over the canonical JSON encoding of ``material``."""
+    canonical = json.dumps(
+        material, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counts observed by one :class:`ArtifactCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ArtifactCache:
+    """A directory of content-addressed JSON artifacts."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The payload stored under ``key``, or ``None`` on a miss.
+
+        A corrupt or partially-written file counts as a miss; the entry
+        will simply be recomputed and rewritten.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            self.stats.misses += 1
+            return None
+        if payload.get("version") != CACHE_FORMAT_VERSION:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload["data"]
+
+    def put(self, key: str, data: dict) -> None:
+        """Store ``data`` under ``key`` (atomic, last writer wins)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"version": CACHE_FORMAT_VERSION, "key": key, "data": data}
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,138 @@
+"""Diff two run manifests: per-benchmark deltas and geomean drift.
+
+``python -m repro compare runA.json runB.json`` pairs the cells of two
+manifests on (benchmark, config) and reports, per config column, the
+percentage delta of every benchmark plus the geometric-mean ratio — the
+same geomean convention the paper's Sec. 4.1 methodology uses, so a
+regression in a code change shows up exactly like a slowdown in Fig. 7/8.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.harness.manifest import RunManifest
+from repro.hlo.profiles import geometric_mean
+
+
+@dataclasses.dataclass
+class CellDelta:
+    """One matched (benchmark, config) cell across two runs."""
+
+    benchmark: str
+    config: str
+    cycles_a: float
+    cycles_b: float
+
+    @property
+    def ratio(self) -> float:
+        """cycles_a / cycles_b: > 1 when run B is faster."""
+        return self.cycles_a / self.cycles_b if self.cycles_b else float("inf")
+
+    @property
+    def delta_percent(self) -> float:
+        """Percent gain of run B over run A (positive = B faster)."""
+        return (self.ratio - 1.0) * 100.0
+
+
+@dataclasses.dataclass
+class ManifestComparison:
+    """All matched cells of two manifests, grouped by config."""
+
+    run_a: str
+    run_b: str
+    #: config label -> matched deltas, in manifest-A cell order
+    deltas: dict[str, list[CellDelta]]
+    #: cells present in only one of the two manifests
+    only_in_a: list[tuple[str, str]]
+    only_in_b: list[tuple[str, str]]
+
+    def geomean(self, config: str) -> float:
+        """Geomean gain (%) of run B over run A for one config."""
+        ratios = [delta.ratio for delta in self.deltas[config]]
+        return (geometric_mean(ratios) - 1.0) * 100.0
+
+    @property
+    def overall_geomean(self) -> float:
+        ratios = [
+            delta.ratio
+            for deltas in self.deltas.values()
+            for delta in deltas
+        ]
+        return (geometric_mean(ratios) - 1.0) * 100.0
+
+    @property
+    def matched_cells(self) -> int:
+        return sum(len(deltas) for deltas in self.deltas.values())
+
+
+def compare_manifests(a: RunManifest, b: RunManifest) -> ManifestComparison:
+    """Pair the cells of ``a`` and ``b`` on (benchmark, config)."""
+    index_b = {(cell.benchmark, cell.config): cell for cell in b.cells}
+    deltas: dict[str, list[CellDelta]] = {}
+    matched: set[tuple[str, str]] = set()
+    only_in_a: list[tuple[str, str]] = []
+    for cell in a.cells:
+        key = (cell.benchmark, cell.config)
+        other = index_b.get(key)
+        if other is None:
+            only_in_a.append(key)
+            continue
+        matched.add(key)
+        deltas.setdefault(cell.config, []).append(CellDelta(
+            benchmark=cell.benchmark,
+            config=cell.config,
+            cycles_a=cell.total_cycles,
+            cycles_b=other.total_cycles,
+        ))
+    only_in_b = [
+        (cell.benchmark, cell.config)
+        for cell in b.cells
+        if (cell.benchmark, cell.config) not in matched
+    ]
+    return ManifestComparison(
+        run_a=a.run_id,
+        run_b=b.run_id,
+        deltas=deltas,
+        only_in_a=only_in_a,
+        only_in_b=only_in_b,
+    )
+
+
+def format_comparison(comparison: ManifestComparison) -> str:
+    """A paper-style table: rows = benchmarks, one column per config."""
+    lines = [
+        f"run A: {comparison.run_a}",
+        f"run B: {comparison.run_b}",
+        "",
+    ]
+    if not comparison.deltas:
+        lines.append("(no matching cells)")
+        return "\n".join(lines)
+    for config, deltas in comparison.deltas.items():
+        width = max(len(d.benchmark) for d in deltas) + 2
+        width = max(width, len("Geomean") + 2)
+        lines.append(f"config: {config}")
+        lines.append(
+            f"{'benchmark':<{width}}{'A cycles':>16}{'B cycles':>16}"
+            f"{'B vs A':>9}"
+        )
+        for delta in deltas:
+            lines.append(
+                f"{delta.benchmark:<{width}}{delta.cycles_a:>16.0f}"
+                f"{delta.cycles_b:>16.0f}{delta.delta_percent:>+8.1f}%"
+            )
+        lines.append(
+            f"{'Geomean':<{width}}{'':>16}{'':>16}"
+            f"{comparison.geomean(config):>+8.1f}%"
+        )
+        lines.append("")
+    if comparison.only_in_a:
+        lines.append(f"only in A: {len(comparison.only_in_a)} cells")
+    if comparison.only_in_b:
+        lines.append(f"only in B: {len(comparison.only_in_b)} cells")
+    lines.append(
+        f"overall geomean (B vs A): {comparison.overall_geomean:+.2f}% "
+        f"over {comparison.matched_cells} cells"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,351 @@
+"""Pure, picklable experiment jobs.
+
+One job = one (benchmark, config) cell of a suite sweep.  The run logic
+here is the code that used to live inside
+:class:`repro.core.experiment.Experiment` — hoisted into module-level
+functions of only their arguments so that
+
+* the serial :class:`~repro.core.experiment.Experiment` driver and the
+  :mod:`repro.harness.pool` workers execute the *same* code (the equality
+  tests hold them to bit-identical cycles and counters), and
+* a job can be pickled to a ``ProcessPoolExecutor`` worker and its
+  outcome memoised in the content-addressed artifact cache.
+
+Cache granularity is one *loop run*: all hot loops of a benchmark under
+one config.  A benchmark cell needs two loop runs — its own config and
+the canonical-baseline anchor that prices the serial (non-loop) cycles —
+and the anchor is shared by every config of the same benchmark, so an
+N-config sweep stores N+1 entries per benchmark, not 2N.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from repro.config import CompilerConfig, baseline_config
+from repro.core.compiler import LoopCompiler
+from repro.core.results import SERIAL_SPLIT, BenchmarkResult, LoopOutcome
+from repro.hlo.profiles import BlockProfile, collect_block_profile
+from repro.ir.printer import format_loop
+from repro.machine.itanium2 import ItaniumMachine
+from repro.sim.counters import PerfCounters
+from repro.sim.executor import simulate_loop
+from repro.sim.memory import MemorySystem
+from repro.workloads.spec import Benchmark
+
+#: sentinel: "derive the profile from the benchmark iff the config wants PGO"
+_AUTO_PROFILE = object()
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchmarkJob:
+    """One pure unit of work: a benchmark under a configuration."""
+
+    benchmark: Benchmark
+    config: CompilerConfig
+    machine: ItaniumMachine = dataclasses.field(default_factory=ItaniumMachine)
+    seed: int = 2008
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.benchmark.name, self.config.label)
+
+
+@dataclasses.dataclass
+class LoopRunOutcome:
+    """All hot loops of one benchmark simulated under one config.
+
+    ``outcomes`` holds the per-loop compile artifacts when the run
+    happened in this process, and is empty when served from the cache.
+    """
+
+    loop_cycles: float
+    counters: PerfCounters
+    outcomes: list[LoopOutcome] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class JobOutcome:
+    """A finished job: the result plus provenance for the run manifest."""
+
+    result: BenchmarkResult
+    #: True when both loop runs (config + baseline anchor) came from cache
+    cache_hit: bool
+    duration_s: float
+
+
+def _stable(text: str) -> int:
+    """Deterministic small hash (``hash`` is salted per process)."""
+    value = 0
+    for ch in text:
+        value = (value * 131 + ord(ch)) % 1_000_003
+    return value
+
+
+def collect_profile(bench: Benchmark, seed: int) -> BlockProfile:
+    """The PGO block profile from the benchmark's training inputs."""
+    dists = {}
+    for lw in bench.loops:
+        loop, _ = lw.build()
+        dists[loop.name] = lw.data.train
+    return collect_block_profile(dists, seed=seed)
+
+
+def run_loops(
+    bench: Benchmark,
+    config: CompilerConfig,
+    machine: ItaniumMachine,
+    seed: int,
+    profile: BlockProfile | None | object = _AUTO_PROFILE,
+) -> LoopRunOutcome:
+    """Compile and simulate every hot loop of ``bench`` under ``config``.
+
+    Pure in all arguments: same inputs, bit-identical outputs.  ``profile``
+    defaults to the training profile when the config uses PGO; pass an
+    explicit profile to reuse a memoised one.
+    """
+    if profile is _AUTO_PROFILE:
+        profile = collect_profile(bench, seed) if config.pgo else None
+    compiler = LoopCompiler(machine, config)
+    total = 0.0
+    counters = PerfCounters()
+    outcomes: list[LoopOutcome] = []
+    for pos, lw in enumerate(bench.loops):
+        loop, layout = lw.build()
+        compiled = compiler.compile(loop, profile)
+        rng = np.random.default_rng(seed + pos * 977 + _stable(bench.name))
+        trips = lw.data.ref.sample(rng, lw.invocations)
+        memory = MemorySystem(machine.timings)
+        sim = simulate_loop(
+            compiled.result,
+            machine,
+            layout,
+            trips,
+            memory=memory,
+            seed=seed + pos,
+        )
+        total += sim.cycles * lw.weight
+        counters.merge(
+            sim.counters.scaled(lw.weight)
+            if lw.weight != 1.0
+            else sim.counters
+        )
+        outcomes.append(
+            LoopOutcome(
+                compiled=compiled,
+                cycles=sim.cycles * lw.weight,
+                counters=sim.counters,
+            )
+        )
+    return LoopRunOutcome(loop_cycles=total, counters=counters, outcomes=outcomes)
+
+
+def assemble_result(
+    bench: Benchmark,
+    config: CompilerConfig,
+    loop_run: LoopRunOutcome,
+    serial_cycles: float,
+) -> BenchmarkResult:
+    """Fold the serial (non-loop) cycles into a finished result."""
+    counters = loop_run.counters
+    for bucket, share in SERIAL_SPLIT.items():
+        setattr(
+            counters, bucket, getattr(counters, bucket) + serial_cycles * share
+        )
+    return BenchmarkResult(
+        name=bench.name,
+        suite=bench.suite,
+        config_label=config.label,
+        loop_cycles=loop_run.loop_cycles,
+        serial_cycles=serial_cycles,
+        counters=counters,
+        loops=loop_run.outcomes,
+    )
+
+
+# --- cache keys ---------------------------------------------------------------
+
+def _describe_memref(ref) -> dict:
+    return {
+        "name": ref.name,
+        "pattern": ref.pattern.value,
+        "size": ref.size,
+        "stride": ref.stride,
+        "offset": ref.offset,
+        "is_fp": ref.is_fp,
+        "space": ref.space,
+        "index": ref.index_ref.name if ref.index_ref is not None else None,
+    }
+
+
+def _describe_distribution(dist) -> dict:
+    return dataclasses.asdict(dist)
+
+
+def describe_benchmark(bench: Benchmark) -> dict:
+    """Canonical content description of a benchmark's hot loops."""
+    loops = []
+    for lw in bench.loops:
+        loop, layout = lw.build()
+        refs = {
+            inst.memref.name: inst.memref
+            for inst in loop.body
+            if inst.memref is not None
+        }
+        loops.append({
+            "ir": format_loop(loop),
+            "counted": loop.counted,
+            "independent_spaces": sorted(loop.independent_spaces),
+            "memrefs": [
+                _describe_memref(refs[name]) for name in sorted(refs)
+            ],
+            "layout": {
+                name: dataclasses.asdict(spec)
+                for name, spec in sorted(layout.items())
+            },
+            "train": _describe_distribution(lw.data.train),
+            "ref": _describe_distribution(lw.data.ref),
+            "invocations": lw.invocations,
+            "weight": lw.weight,
+        })
+    return {
+        "name": bench.name,
+        "suite": bench.suite,
+        "serial_factor": bench.serial_factor,
+        "loops": loops,
+    }
+
+
+def describe_config(config: CompilerConfig) -> dict:
+    desc = dataclasses.asdict(config)
+    desc["hint_policy"] = config.hint_policy.value
+    return desc
+
+
+def describe_machine(machine: ItaniumMachine) -> dict:
+    return {
+        "timings": dataclasses.asdict(machine.timings),
+        "translation": dataclasses.asdict(machine.translation),
+        "ozq_capacity": machine.ozq_capacity,
+        "resources": {
+            "capacities": {
+                unit.name: cap
+                for unit, cap in sorted(
+                    machine.resources.capacities.items(),
+                    key=lambda item: item[0].name,
+                )
+            },
+            "issue_width": machine.resources.issue_width,
+        },
+        "registers": {
+            rclass.name: dataclasses.asdict(rf)
+            for rclass, rf in sorted(
+                machine.register_files.items(), key=lambda item: item[0].name
+            )
+        },
+    }
+
+
+def loop_run_key(
+    bench: Benchmark,
+    config: CompilerConfig,
+    machine: ItaniumMachine,
+    seed: int,
+) -> dict:
+    """The key material addressing one loop run in the artifact cache."""
+    material = {
+        "kind": "loop-run",
+        "benchmark": describe_benchmark(bench),
+        "config": describe_config(config),
+        "machine": describe_machine(machine),
+        "seed": seed,
+    }
+    # RegClass enum keys serialise via their names above; RegisterFile
+    # asdict contains an enum — flatten it to its value.
+    for rf in material["machine"]["registers"].values():
+        rf["rclass"] = rf["rclass"].value if hasattr(rf["rclass"], "value") else rf["rclass"]
+    return material
+
+
+# --- counter (de)serialisation ------------------------------------------------
+
+def counters_to_dict(counters: PerfCounters) -> dict:
+    """Lossless JSON form (floats round-trip exactly through ``repr``)."""
+    data = dataclasses.asdict(counters)
+    data["loads_by_level"] = {
+        str(level): count for level, count in counters.loads_by_level.items()
+    }
+    return data
+
+
+def counters_from_dict(data: dict) -> PerfCounters:
+    data = dict(data)
+    data["loads_by_level"] = {
+        int(level): count for level, count in data["loads_by_level"].items()
+    }
+    return PerfCounters(**data)
+
+
+# --- cached execution ---------------------------------------------------------
+
+def cached_loop_run(
+    bench: Benchmark,
+    config: CompilerConfig,
+    machine: ItaniumMachine,
+    seed: int,
+    cache=None,
+) -> tuple[LoopRunOutcome, bool]:
+    """A loop run served from ``cache`` when possible; ``(run, was_hit)``."""
+    if cache is None:
+        return run_loops(bench, config, machine, seed), False
+    from repro.harness.cache import hash_key
+
+    key = hash_key(loop_run_key(bench, config, machine, seed))
+    payload = cache.get(key)
+    if payload is not None:
+        return (
+            LoopRunOutcome(
+                loop_cycles=payload["loop_cycles"],
+                counters=counters_from_dict(payload["counters"]),
+            ),
+            True,
+        )
+    run = run_loops(bench, config, machine, seed)
+    cache.put(key, {
+        "benchmark": bench.name,
+        "config": config.label,
+        "loop_cycles": run.loop_cycles,
+        "counters": counters_to_dict(run.counters),
+    })
+    return run, False
+
+
+def run_job(job: BenchmarkJob, cache=None) -> JobOutcome:
+    """Execute one (benchmark, config) cell, through the cache when given.
+
+    The serial-cycle anchor is priced off the canonical baseline config —
+    exactly as :meth:`Experiment._serial_cycles` does — and is itself a
+    cacheable loop run shared by every config of the same benchmark.
+    """
+    start = time.perf_counter()
+    bench = job.benchmark
+    variant_run, variant_hit = cached_loop_run(
+        bench, job.config, job.machine, job.seed, cache
+    )
+    anchor_cfg = baseline_config()
+    if job.config.label == anchor_cfg.label:
+        anchor_run, anchor_hit = variant_run, variant_hit
+    else:
+        anchor_run, anchor_hit = cached_loop_run(
+            bench, anchor_cfg, job.machine, job.seed, cache
+        )
+    serial = bench.serial_factor * anchor_run.loop_cycles
+    result = assemble_result(bench, job.config, variant_run, serial)
+    return JobOutcome(
+        result=result,
+        cache_hit=variant_hit and anchor_hit,
+        duration_s=time.perf_counter() - start,
+    )

@@ -1,0 +1,162 @@
+"""JSON run manifests: what ran, from which inputs, how fast, what cached.
+
+Every :func:`repro.harness.pool.run_suite` invocation produces a
+:class:`RunManifest` — one :class:`CellRecord` per (benchmark, config)
+cell with its cycle totals, wall-clock duration and cache hit/miss flag —
+and writes it under ``benchmarks/results/runs/`` by default.  Manifests
+are the input to ``python -m repro compare``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import subprocess
+import time
+import uuid
+from pathlib import Path
+
+from repro.errors import HarnessError
+
+MANIFEST_VERSION = 1
+
+
+def current_git_sha(cwd: str | Path | None = None) -> str:
+    """The checked-out commit, or ``"unknown"`` outside a git repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd or Path(__file__).resolve().parents[3],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def default_runs_dir() -> Path:
+    """``benchmarks/results/runs`` next to the repo when discoverable."""
+    repo_root = Path(__file__).resolve().parents[3]
+    if (repo_root / "benchmarks").is_dir():
+        return repo_root / "benchmarks" / "results" / "runs"
+    return Path("benchmarks") / "results" / "runs"
+
+
+@dataclasses.dataclass
+class CellRecord:
+    """Provenance of one (benchmark, config) cell of a sweep."""
+
+    benchmark: str
+    suite: str
+    config: str
+    total_cycles: float
+    loop_cycles: float
+    serial_cycles: float
+    cache_hit: bool
+    duration_s: float
+
+
+@dataclasses.dataclass
+class RunManifest:
+    """One harness run: inputs, environment, timings, per-cell records."""
+
+    run_id: str
+    created_utc: str
+    git_sha: str
+    suite: str
+    seed: int
+    workers: int
+    configs: list[str]
+    cells: list[CellRecord]
+    wall_time_s: float
+
+    @staticmethod
+    def new(
+        suite: str,
+        seed: int,
+        workers: int,
+        configs: list[str],
+        cells: list[CellRecord],
+        wall_time_s: float,
+    ) -> "RunManifest":
+        stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+        return RunManifest(
+            run_id=f"{stamp}-{suite or 'suite'}-{uuid.uuid4().hex[:6]}",
+            created_utc=stamp,
+            git_sha=current_git_sha(),
+            suite=suite,
+            seed=seed,
+            workers=workers,
+            configs=list(configs),
+            cells=cells,
+            wall_time_s=wall_time_s,
+        )
+
+    # --- cache accounting ---------------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for cell in self.cells if cell.cache_hit)
+
+    @property
+    def cache_misses(self) -> int:
+        return len(self.cells) - self.cache_hits
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / len(self.cells) if self.cells else 0.0
+
+    def cell(self, benchmark: str, config: str) -> CellRecord:
+        for record in self.cells:
+            if record.benchmark == benchmark and record.config == config:
+                return record
+        raise KeyError(f"no cell ({benchmark!r}, {config!r}) in manifest")
+
+    # --- (de)serialisation --------------------------------------------------
+    def to_dict(self) -> dict:
+        data = dataclasses.asdict(self)
+        data["version"] = MANIFEST_VERSION
+        data["cache"] = {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "hit_rate": self.cache_hit_rate,
+        }
+        return data
+
+    @staticmethod
+    def from_dict(data: dict) -> "RunManifest":
+        if data.get("version") != MANIFEST_VERSION:
+            raise HarnessError(
+                f"unsupported manifest version {data.get('version')!r}"
+            )
+        cells = [CellRecord(**cell) for cell in data["cells"]]
+        fields = {
+            f.name: data[f.name]
+            for f in dataclasses.fields(RunManifest)
+            if f.name != "cells"
+        }
+        return RunManifest(cells=cells, **fields)
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @staticmethod
+    def load(path: str | Path) -> "RunManifest":
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise HarnessError(f"cannot read manifest {path}: {exc}") from exc
+        return RunManifest.from_dict(data)
+
+    def summary(self) -> str:
+        return (
+            f"run {self.run_id}: {len(self.cells)} cells, "
+            f"{len(self.configs)} configs, workers={self.workers}, "
+            f"cache {self.cache_hits}/{len(self.cells)} hits "
+            f"({100 * self.cache_hit_rate:.0f}%), "
+            f"wall {self.wall_time_s:.1f}s"
+        )

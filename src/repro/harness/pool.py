@@ -1,0 +1,205 @@
+"""The job scheduler: a process pool with deterministic result ordering.
+
+``run_jobs`` executes :class:`~repro.harness.jobs.BenchmarkJob` values
+either in-process (``workers <= 1``) or on a ``ProcessPoolExecutor``;
+results always come back in submission order regardless of completion
+order, so a parallel sweep is a drop-in replacement for the serial loop.
+``run_suite`` is the high-level entry: a (benchmarks x configs) grid run
+through the pool and the artifact cache, returning results plus a
+:class:`~repro.harness.manifest.RunManifest`.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import multiprocessing
+import os
+import time
+from pathlib import Path
+
+from repro.config import CompilerConfig
+from repro.core.results import BenchmarkResult, ExperimentResult, percent_gain
+from repro.errors import HarnessError
+from repro.harness.cache import ArtifactCache
+from repro.harness.jobs import BenchmarkJob, JobOutcome, run_job
+from repro.harness.manifest import CellRecord, RunManifest, default_runs_dir
+from repro.machine.itanium2 import ItaniumMachine
+from repro.workloads.spec import Benchmark
+
+
+def default_workers() -> int:
+    """A sensible worker count: the CPU count, capped at 8."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+def _execute(job: BenchmarkJob, cache_root: str | None) -> JobOutcome:
+    """Worker entry point: each process opens its own cache handle."""
+    cache = ArtifactCache(cache_root) if cache_root else None
+    return run_job(job, cache)
+
+
+def run_jobs(
+    jobs: list[BenchmarkJob],
+    *,
+    workers: int = 1,
+    cache: ArtifactCache | str | Path | None = None,
+    timeout: float | None = None,
+) -> list[JobOutcome]:
+    """Execute ``jobs``, returning outcomes in submission order.
+
+    ``workers <= 1`` runs serially in-process (sharing the caller's cache
+    handle, so its hit/miss stats stay live).  Otherwise a process pool of
+    ``workers`` executes jobs concurrently; workers share the cache
+    *directory* (writes are atomic), and hit/miss provenance comes back in
+    each :class:`JobOutcome`.  ``timeout`` bounds the wait for any single
+    job's result, in seconds.
+    """
+    cache_obj, cache_root = _normalise_cache(cache)
+    if workers <= 1:
+        outcomes = []
+        for job in jobs:
+            outcomes.append(run_job(job, cache_obj))
+        return outcomes
+
+    # fork keeps workers cheap and inherits sys.path; fall back to the
+    # platform default where fork is unavailable (e.g. Windows)
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context()
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers, mp_context=context
+    ) as pool:
+        futures = [pool.submit(_execute, job, cache_root) for job in jobs]
+        outcomes = []
+        for job, future in zip(jobs, futures):
+            try:
+                outcomes.append(future.result(timeout=timeout))
+            except concurrent.futures.TimeoutError:
+                for pending in futures:
+                    pending.cancel()
+                raise HarnessError(
+                    f"job {job.key} exceeded the {timeout}s timeout"
+                ) from None
+        return outcomes
+
+
+def _normalise_cache(
+    cache: ArtifactCache | str | Path | None,
+) -> tuple[ArtifactCache | None, str | None]:
+    if cache is None:
+        return None, None
+    if isinstance(cache, ArtifactCache):
+        return cache, str(cache.root)
+    return ArtifactCache(cache), str(cache)
+
+
+@dataclasses.dataclass
+class SuiteRun:
+    """A full (benchmarks x configs) grid run through the harness."""
+
+    #: config label -> benchmark name -> result
+    results: dict[str, dict[str, BenchmarkResult]]
+    manifest: RunManifest
+
+    def config(self, label: str) -> dict[str, BenchmarkResult]:
+        try:
+            return self.results[label]
+        except KeyError:
+            raise HarnessError(
+                f"no config {label!r} in run "
+                f"(have: {', '.join(self.results)})"
+            ) from None
+
+
+def run_suite(
+    benchmarks: list[Benchmark],
+    configs: list[CompilerConfig],
+    *,
+    machine: ItaniumMachine | None = None,
+    seed: int = 2008,
+    workers: int = 1,
+    cache: ArtifactCache | str | Path | None = None,
+    timeout: float | None = None,
+    suite_name: str = "",
+    manifest_path: str | Path | None = None,
+) -> SuiteRun:
+    """Run every benchmark under every config, in parallel, with caching.
+
+    Duplicate config labels are deduplicated (first occurrence wins).
+    When ``manifest_path`` is given the manifest is written there; pass
+    ``manifest_path=""`` (falsy) to skip writing, or a directory-less
+    default is derived from :func:`default_runs_dir` by the CLI layer.
+    """
+    machine = machine or ItaniumMachine()
+    unique_configs: list[CompilerConfig] = []
+    seen: set[str] = set()
+    for config in configs:
+        if config.label not in seen:
+            seen.add(config.label)
+            unique_configs.append(config)
+
+    jobs = [
+        BenchmarkJob(benchmark=bench, config=config, machine=machine, seed=seed)
+        for config in unique_configs
+        for bench in benchmarks
+    ]
+    start = time.perf_counter()
+    outcomes = run_jobs(jobs, workers=workers, cache=cache, timeout=timeout)
+    wall = time.perf_counter() - start
+
+    results: dict[str, dict[str, BenchmarkResult]] = {
+        config.label: {} for config in unique_configs
+    }
+    cells: list[CellRecord] = []
+    for job, outcome in zip(jobs, outcomes):
+        result = outcome.result
+        results[job.config.label][job.benchmark.name] = result
+        cells.append(CellRecord(
+            benchmark=result.name,
+            suite=result.suite,
+            config=result.config_label,
+            total_cycles=result.total_cycles,
+            loop_cycles=result.loop_cycles,
+            serial_cycles=result.serial_cycles,
+            cache_hit=outcome.cache_hit,
+            duration_s=outcome.duration_s,
+        ))
+
+    manifest = RunManifest.new(
+        suite=suite_name or (benchmarks[0].suite if benchmarks else ""),
+        seed=seed,
+        workers=workers,
+        configs=[config.label for config in unique_configs],
+        cells=cells,
+        wall_time_s=wall,
+    )
+    if manifest_path:
+        manifest.save(manifest_path)
+    return SuiteRun(results=results, manifest=manifest)
+
+
+def compare_configs(
+    run: SuiteRun, baseline_label: str, variant_label: str
+) -> ExperimentResult:
+    """Baseline-vs-variant gains out of one grid run."""
+    base = run.config(baseline_label)
+    var = run.config(variant_label)
+    gains = {
+        name: percent_gain(base[name].total_cycles, var[name].total_cycles)
+        for name in base
+    }
+    return ExperimentResult(
+        baseline_label=baseline_label,
+        variant_label=variant_label,
+        gains=gains,
+        baseline=base,
+        variant=var,
+    )
+
+
+def default_manifest_path(suite_name: str) -> Path:
+    """An auto-named manifest file under the default runs directory."""
+    stamp = time.strftime("%Y%m%dT%H%M%S")
+    return default_runs_dir() / f"{stamp}-{suite_name or 'suite'}.json"

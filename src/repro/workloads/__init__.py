@@ -16,6 +16,8 @@ from repro.workloads.spec import (
     LoopWorkload,
     cpu2006_suite,
     cpu2000_suite,
+    micro_suite,
+    suite_by_name,
     benchmark_by_name,
 )
 
@@ -26,5 +28,7 @@ __all__ = [
     "LoopWorkload",
     "cpu2006_suite",
     "cpu2000_suite",
+    "micro_suite",
+    "suite_by_name",
     "benchmark_by_name",
 ]

@@ -227,6 +227,38 @@ def cpu2006_suite() -> list[Benchmark]:
     ]
 
 
+# --- micro -------------------------------------------------------------------
+
+def micro_suite() -> list[Benchmark]:
+    """A four-benchmark smoke suite spanning the main archetypes.
+
+    Small working sets and few invocations keep a full harness sweep in
+    the low seconds — the suite behind ``python -m repro bench --suite
+    micro`` and the harness equality tests, not a paper figure.
+    """
+    s = "MICRO"
+    return [
+        _bench("micro.stream", s, [
+            _lw(partial(T.stream_int, "micro.stream.hot", streams=2,
+                        working_set=4 * MB),
+                DataSet.steady(200), invocations=3),
+        ], serial=2.0),
+        _bench("micro.stencil", s, [
+            _lw(partial(T.stencil_fp, "micro.stencil.hot",
+                        working_set=4 * MB),
+                DataSet.steady(200), invocations=2),
+        ], serial=2.5),
+        _bench("micro.chase", s, [
+            _lw(partial(T.pointer_chase, "micro.chase.hot", heap=8 * MB),
+                DataSet.variable(2, 6), invocations=80),
+        ], serial=2.0),
+        _bench("micro.lowtrip", s, [
+            _lw(partial(T.low_trip_linear, "micro.lowtrip.hot"),
+                DataSet.steady(10), invocations=120),
+        ], serial=1.2),
+    ]
+
+
 # --- CPU2000 -----------------------------------------------------------------
 
 def cpu2000_suite() -> list[Benchmark]:
@@ -319,8 +351,21 @@ def cpu2000_suite() -> list[Benchmark]:
     ]
 
 
+def suite_by_name(name: str) -> list[Benchmark]:
+    """The suite registered under ``name`` (cpu2006 / cpu2000 / micro)."""
+    suites = {
+        "cpu2006": cpu2006_suite,
+        "cpu2000": cpu2000_suite,
+        "micro": micro_suite,
+    }
+    try:
+        return suites[name.lower()]()
+    except KeyError:
+        raise KeyError(f"unknown suite {name!r}") from None
+
+
 def benchmark_by_name(name: str) -> Benchmark:
-    for bench in cpu2006_suite() + cpu2000_suite():
+    for bench in cpu2006_suite() + cpu2000_suite() + micro_suite():
         if bench.name == name:
             return bench
     raise KeyError(f"unknown benchmark {name!r}")

@@ -29,17 +29,34 @@ class TestParsers:
         assert parse_size("1G") == 1 << 30
         assert parse_size("1.5M") == int(1.5 * (1 << 20))
 
+    def test_parse_size_long_suffixes(self):
+        assert parse_size("512kb") == 512 * 1024
+        assert parse_size("64MB") == 64 << 20
+        assert parse_size("2Gb") == 2 << 30
+
+    @pytest.mark.parametrize("bad", ["0", "-1", "-64M", "0.0001", "bogus",
+                                     "12q", "M", ""])
+    def test_parse_size_rejects(self, bad):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_size(bad)
+
     def test_parse_space(self):
         name, spec = parse_space("a=64M")
         assert name == "a" and spec.size == 64 << 20 and spec.reuse
         name, spec = parse_space("b=8K:stream")
         assert name == "b" and not spec.reuse
+        name, spec = parse_space("c=8K:reuse")
+        assert name == "c" and spec.reuse
 
-    def test_parse_space_malformed(self):
+    @pytest.mark.parametrize("bad", ["nonsense", "=64M", " =64M",
+                                     "a=64M:typo", "a=64M:", "a=-4k"])
+    def test_parse_space_malformed(self, bad):
         import argparse
 
         with pytest.raises(argparse.ArgumentTypeError):
-            parse_space("nonsense")
+            parse_space(bad)
 
 
 class TestCompileCommand:
@@ -97,6 +114,74 @@ class TestExperimentCommand:
     def test_unknown_benchmark(self, capsys):
         rc = main(["experiment", "--benchmark", "999.bogus"])
         assert rc == 2
+
+    def test_jobs_and_cache_dir(self, tmp_path, capsys):
+        """--jobs routes through the pool, --cache-dir through the cache."""
+        args = [
+            "experiment", "--suite", "micro", "--policy", "hlo",
+            "--jobs", "2", "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        out1 = capsys.readouterr().out
+        assert "Geomean" in out1
+        # second invocation replays from the cache, same table
+        assert main(args) == 0
+        assert capsys.readouterr().out == out1
+        assert any((tmp_path / "cache").iterdir())
+
+
+class TestBenchCommand:
+    def test_bench_micro_smoke_and_warm_cache(self, tmp_path, capsys):
+        args = [
+            "bench", "--suite", "micro", "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--manifest", str(tmp_path / "runs" / "a.json"),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "Geomean" in out and "cache 0/8 hits (0%)" in out
+
+        args[-1] = str(tmp_path / "runs" / "b.json")
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        # acceptance criterion: an unchanged sweep re-runs >= 90% cached
+        assert "cache 8/8 hits (100%)" in out
+
+    def test_bench_no_cache(self, tmp_path, capsys):
+        rc = main([
+            "bench", "--suite", "micro", "--benchmark", "micro.lowtrip",
+            "--no-cache", "--jobs", "1",
+            "--manifest", str(tmp_path / "m.json"),
+        ])
+        assert rc == 0
+        assert "cache 0/2 hits" in capsys.readouterr().out
+
+    def test_bench_unknown_benchmark(self, capsys):
+        assert main(["bench", "--benchmark", "999.bogus"]) == 2
+
+
+class TestCompareCommand:
+    def test_compare_two_manifests(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        for name in ("a.json", "b.json"):
+            assert main([
+                "bench", "--suite", "micro", "--jobs", "1",
+                "--cache-dir", cache,
+                "--manifest", str(tmp_path / name),
+            ]) == 0
+        capsys.readouterr()
+        assert main([
+            "compare", str(tmp_path / "a.json"), str(tmp_path / "b.json"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "overall geomean (B vs A): +0.00%" in out
+        assert "micro.chase" in out
+
+    def test_compare_missing_manifest(self, tmp_path, capsys):
+        rc = main(["compare", str(tmp_path / "nope.json"),
+                   str(tmp_path / "nope.json")])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
 
 
 class TestFig5Command:
