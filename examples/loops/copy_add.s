@@ -1,0 +1,11 @@
+# The paper's running example (Fig. 1/6): load, add, store over two
+# affine streams.  Compile / validate with
+#   python -m repro compile examples/loops/copy_add.s --policy all-loads-l3 -n 0
+#   python -m repro lint examples/loops/copy_add.s
+memref A affine stride=4 space=a
+memref B affine stride=4 space=b
+
+loop copy_add trips=200 source=pgo
+  ld4 r4 = [r5], 4 !A
+  add r7 = r4, r9
+  st4 [r6] = r7, 4 !B

@@ -1,0 +1,10 @@
+# DAXPY-style FP stream: y[i] += a * x[i].  Two FP loads feeding an fma,
+# the archetype whose loads the ALL_FP_L2 policy boosts (Sec. 4.3).
+memref X affine fp stride=8 size=8 space=x
+memref Y affine fp stride=8 size=8 space=y
+
+loop daxpy trips=1000 source=pgo
+  ldfd f4 = [r5], 8 !X
+  ldfd f5 = [r6] !Y
+  fma f6 = f4, f2, f5
+  stfd [r6] = f6, 8 !Y

@@ -1,0 +1,12 @@
+# Indirect gather: an index stream drives a data-dependent load
+# (the namd/art archetype — prefetchable only at reduced distance,
+# Sec. 3.2 rule 2b).
+memref IDX affine stride=4 space=idx
+memref DATA indirect size=8 space=data index=IDX
+
+loop gather trips=500 source=pgo
+  ld4 r4 = [r5], 4 !IDX
+  shladd r7 = r4, r8
+  ld8 r9 = [r7] !DATA
+  add r10 = r9, r10
+  st8 [r6] = r10, 8 !DATA

@@ -1,0 +1,262 @@
+"""Diagnostics framework for the static-analysis layer.
+
+Every check in :mod:`repro.analysis` reports its findings as
+:class:`Diagnostic` values with a *stable code* drawn from the registry
+below, a severity, and a source location (loop name plus instruction
+index/text).  Codes are grouped by subsystem:
+
+* ``SA1xx`` — IR lint (:mod:`repro.analysis.irlint`)
+* ``SA2xx`` — modulo-schedule verification (:mod:`repro.analysis.schedverify`)
+* ``SA3xx`` — kernel / rotating-register verification
+  (:mod:`repro.analysis.kernelverify`)
+* ``SA4xx`` — latency-hint consistency (:mod:`repro.analysis.hintcheck`)
+
+The registry is the single source of truth consumed by the renderers, the
+documentation (``docs/analysis.md``) and the mutation tests, which provoke
+every code exactly once.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings mean the artifact violates a correctness invariant
+    and any benchmark number derived from it is suspect.  ``WARNING``
+    findings are well-formedness smells (dead code, odd operand widths).
+    ``NOTE`` findings are observations that cost performance or registers
+    but not correctness.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+    def __lt__(self, other: "Severity") -> bool:
+        if not isinstance(other, Severity):
+            return NotImplemented
+        order = {"error": 0, "warning": 1, "note": 2}
+        return order[self.value] < order[other.value]
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Registry entry for one diagnostic code."""
+
+    code: str
+    severity: Severity
+    title: str
+    #: paper section / equation the check enforces (empty when none)
+    paper: str = ""
+
+
+def _c(code: str, severity: Severity, title: str, paper: str = "") -> CodeInfo:
+    return CodeInfo(code=code, severity=severity, title=title, paper=paper)
+
+
+#: The closed registry of diagnostic codes.
+CODES: dict[str, CodeInfo] = {
+    info.code: info
+    for info in [
+        # --- SA1xx: IR lint ------------------------------------------------
+        _c("SA101", Severity.ERROR, "empty loop body"),
+        _c("SA102", Severity.ERROR, "branch instruction in loop body"),
+        _c("SA103", Severity.ERROR, "virtual register has multiple definitions"),
+        _c("SA104", Severity.ERROR,
+           "use of a virtual register that is neither defined nor live-in"),
+        _c("SA105", Severity.ERROR, "operand arity mismatch for opcode"),
+        _c("SA106", Severity.ERROR, "malformed memory operation"),
+        _c("SA107", Severity.WARNING, "dead definition (never used, not live-out)"),
+        _c("SA108", Severity.ERROR, "live-out register never defined"),
+        _c("SA109", Severity.WARNING, "access size disagrees with opcode width"),
+        # --- SA2xx: schedule verification ---------------------------------
+        _c("SA201", Severity.ERROR, "schedule time domain mismatch"),
+        _c("SA202", Severity.ERROR, "dependence edge violated modulo II",
+           "Sec. 1.1: t(dst) + II*omega - t(src) >= latency"),
+        _c("SA203", Severity.ERROR, "execution resources over-subscribed in a row",
+           "Sec. 1.1 Resource II / MRT"),
+        _c("SA204", Severity.ERROR, "stage-count or schedule bookkeeping mismatch",
+           "Sec. 1.1: SC = max t // II + 1"),
+        _c("SA205", Severity.ERROR, "load placement metrics mismatch",
+           "Sec. 2.1 additional latency d, Equ. (3) k = d//II + 1"),
+        # --- SA3xx: kernel / rotating registers ---------------------------
+        _c("SA301", Severity.ERROR, "kernel does not match the scheduled loop"),
+        _c("SA302", Severity.ERROR, "stage predicate or row/stage mismatch",
+           "Sec. 1.1: stage s guarded by p16+s"),
+        _c("SA303", Severity.ERROR, "rotation renaming violated",
+           "Sec. 1.1: a use rot iterations later reads phys + rot"),
+        _c("SA304", Severity.ERROR, "rotating blade overlap, span or capacity",
+           "Sec. 2.2/3.3: blades disjoint, spans cover live ranges"),
+        # --- SA4xx: hint consistency --------------------------------------
+        _c("SA401", Severity.ERROR, "boosted load does not cover its hinted latency",
+           "Sec. 3.3: expected-latency scheduling"),
+        _c("SA402", Severity.ERROR, "boost/criticality plumbing inconsistency",
+           "Sec. 3.3: only hinted, non-critical loads are boosted"),
+        _c("SA403", Severity.ERROR, "load placement latency bookkeeping mismatch",
+           "Sec. 3.3 latency query"),
+        _c("SA404", Severity.NOTE, "non-boosted load silently stretched",
+           "Sec. 2.2: stages cost registers"),
+    ]
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a stable code, a location, and a human message."""
+
+    code: str
+    message: str
+    loop: str = ""
+    #: body index of the offending instruction (None for loop-level findings)
+    inst: int | None = None
+    #: formatted instruction text, when an instruction is implicated
+    where: str = ""
+    detail: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def severity(self) -> Severity:
+        return CODES[self.code].severity
+
+    @property
+    def title(self) -> str:
+        return CODES[self.code].title
+
+    def format(self) -> str:
+        loc = self.loop or "<loop>"
+        if self.inst is not None:
+            loc += f":{self.inst}"
+        line = f"{loc}: {self.code} {self.severity.value}: {self.message}"
+        if self.where:
+            line += f"  [{self.where}]"
+        return line
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "title": self.title,
+            "message": self.message,
+            "loop": self.loop,
+            "inst": self.inst,
+            "where": self.where,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class DiagnosticReport:
+    """An ordered collection of findings with severity accounting."""
+
+    findings: list[Diagnostic] = field(default_factory=list)
+
+    def add(
+        self,
+        code: str,
+        message: str,
+        *,
+        loop: str = "",
+        inst=None,
+        detail: dict | None = None,
+    ) -> Diagnostic:
+        """Record one finding.  ``inst`` may be an Instruction or an index."""
+        index: int | None = None
+        where = ""
+        if inst is not None:
+            if isinstance(inst, int):
+                index = inst
+            else:
+                index = inst.index
+                from repro.ir.printer import format_instruction
+
+                where = format_instruction(inst)
+        diag = Diagnostic(
+            code=code,
+            message=message,
+            loop=loop,
+            inst=index,
+            where=where,
+            detail=detail or {},
+        )
+        self.findings.append(diag)
+        return diag
+
+    def extend(self, other: "DiagnosticReport") -> "DiagnosticReport":
+        self.findings.extend(other.findings)
+        return self
+
+    # --- accounting ---------------------------------------------------------
+    def by_severity(self, severity: Severity) -> list[Diagnostic]:
+        return [d for d in self.findings if d.severity is severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def notes(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.NOTE)
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error*-severity finding was recorded."""
+        return not self.errors
+
+    def codes(self) -> list[str]:
+        return sorted({d.code for d in self.findings})
+
+    def has(self, code: str) -> bool:
+        return any(d.code == code for d in self.findings)
+
+    def sorted(self) -> list[Diagnostic]:
+        return sorted(
+            self.findings, key=lambda d: (d.severity, d.code, d.inst or -1)
+        )
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "error": len(self.errors),
+            "warning": len(self.warnings),
+            "note": len(self.notes),
+        }
+
+    # --- renderers ----------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "counts": self.counts(),
+            "findings": [d.to_dict() for d in self.sorted()],
+        }
+
+    def render_text(self) -> str:
+        """Human-readable listing, most severe first."""
+        if not self.findings:
+            return "no findings"
+        lines = [d.format() for d in self.sorted()]
+        c = self.counts()
+        lines.append(
+            f"{c['error']} error(s), {c['warning']} warning(s), "
+            f"{c['note']} note(s)"
+        )
+        return "\n".join(lines)
+
+    def render_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __iter__(self):
+        return iter(self.findings)

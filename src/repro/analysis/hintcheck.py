@@ -1,0 +1,143 @@
+"""Latency-hint consistency checks (SA4xx).
+
+The latency-tolerance machinery (Sec. 3.3) only works if the plumbing
+between HLO hints, the criticality classification and the scheduler is
+sound.  Regressions here do not crash — they silently schedule loads
+with the wrong latency, which is exactly where hint-driven optimisation
+bugs hide.  These checks assert, from the schedule alone:
+
+* SA402 — the boost set is well-formed: only hinted, non-critical loads;
+* SA401 — every boosted load's earliest data use really sits at least
+  the translated hint latency away (the schedule *covers* the hint);
+* SA403 — the recorded :class:`~repro.pipeliner.schedule.LoadPlacement`
+  latency bookkeeping matches re-derivation;
+* SA404 (note) — a non-boosted load whose use distance exceeds its base
+  latency by a full stage anyway: stretched without being asked, which
+  spends rotating registers (Sec. 2.2) for no modelled benefit.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.schedverify import recompute_use_distance
+from repro.ir.memref import LatencyHint
+from repro.pipeliner.schedule import Schedule
+from repro.pipeliner.stats import PipelineStats
+
+
+def _check_boost_set(schedule: Schedule, report: DiagnosticReport) -> None:
+    """SA402: membership rules for the boosted set."""
+    name = schedule.loop.name
+    criticality = schedule.criticality
+    for inst in sorted(criticality.boosted, key=lambda i: i.index):
+        if not inst.is_load:
+            report.add("SA402", "boosted instruction is not a load",
+                       loop=name, inst=inst)
+            continue
+        if inst.memref is None or inst.memref.hint is LatencyHint.NONE:
+            report.add(
+                "SA402",
+                "boosted load has no latency hint to translate",
+                loop=name,
+                inst=inst,
+            )
+        if inst in criticality.critical:
+            report.add(
+                "SA402",
+                "load is both critical and boosted; critical loads must "
+                "keep their minimum latency",
+                loop=name,
+                inst=inst,
+            )
+
+
+def _check_coverage(schedule: Schedule, report: DiagnosticReport) -> None:
+    """SA401: boosted loads actually hold their hinted latency."""
+    name = schedule.loop.name
+    translation = schedule.machine.translation
+    for load in sorted(schedule.criticality.boosted, key=lambda i: i.index):
+        if not load.is_load or load.memref is None:
+            continue  # SA402 already fired
+        expected = translation.scheduling_latency(
+            load.memref.hint, load.is_fp, load.opcode.latency
+        )
+        distance = recompute_use_distance(schedule, load)
+        if distance is not None and distance < expected:
+            report.add(
+                "SA401",
+                f"use distance {distance} does not cover the translated "
+                f"{load.memref.hint.value} hint latency {expected}",
+                loop=name,
+                inst=load,
+                detail={"distance": distance, "expected": expected},
+            )
+
+
+def _check_placement_latencies(
+    schedule: Schedule, stats: PipelineStats, report: DiagnosticReport
+) -> None:
+    """SA403: boosted/base/scheduled latency fields of each placement."""
+    name = schedule.loop.name
+    translation = schedule.machine.translation
+    for placement in stats.placements:
+        load = placement.load
+        boosted = schedule.criticality.is_boosted(load)
+        base = load.opcode.latency
+        if boosted and load.memref is not None:
+            scheduled = translation.scheduling_latency(
+                load.memref.hint, load.is_fp, base
+            )
+        else:
+            scheduled = base
+        checks = [
+            ("boosted flag", placement.boosted, boosted),
+            ("base latency", placement.base_latency, base),
+            ("scheduled latency", placement.scheduled_latency, scheduled),
+        ]
+        for what, got, want in checks:
+            if got != want:
+                report.add(
+                    "SA403",
+                    f"placement {what} is {got}, re-derivation gives {want}",
+                    loop=name,
+                    inst=load,
+                )
+
+
+def _check_unrequested_stretch(
+    schedule: Schedule, report: DiagnosticReport
+) -> None:
+    """SA404 (note): non-boosted loads stretched by >= one full stage."""
+    name = schedule.loop.name
+    ii = schedule.ii
+    for load in schedule.loop.loads:
+        if schedule.criticality.is_boosted(load):
+            continue
+        distance = recompute_use_distance(schedule, load)
+        if distance is None:
+            continue
+        base = load.opcode.latency
+        if distance >= base + ii:
+            report.add(
+                "SA404",
+                f"non-boosted load sits {distance} cycles from its first "
+                f"use (base latency {base}); the extra "
+                f"{distance - base} cycles cost rotating registers without "
+                "a requested latency boost",
+                loop=name,
+                inst=load,
+                detail={"distance": distance, "base": base},
+            )
+
+
+def verify_hints(
+    schedule: Schedule, stats: PipelineStats | None = None
+) -> DiagnosticReport:
+    """Run every SA4xx check; ``stats`` enables SA403."""
+    report = DiagnosticReport()
+    _check_boost_set(schedule, report)
+    _check_coverage(schedule, report)
+    if stats is not None:
+        _check_placement_latencies(schedule, stats, report)
+    _check_unrequested_stretch(schedule, report)
+    return report

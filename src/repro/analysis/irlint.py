@@ -1,0 +1,174 @@
+"""IR lint pass (SA1xx): well-formedness of a loop before scheduling.
+
+This extends the historical :func:`repro.ir.validate.validate_loop` checks
+(empty body, branch in body, multiple definitions, malformed memory ops,
+undefined live-outs) with the gaps that pass listed in the issue tracker:
+
+* **use-before-def** — a use of a virtual register that is neither defined
+  in the body nor supplied via ``live_in`` reads garbage; a *loop-carried*
+  first read (the definition sits at the same or a later body index, e.g.
+  a post-incremented address or an accumulator) additionally needs an
+  initial live-in value for iteration 0 (SA104);
+* **operand arity by slot** — the old ``len(inst.uses) < 2`` store check
+  counted operand mentions, which says nothing about whether the *value*
+  slot is actually present or whether a store grew a bogus destination;
+  SA105 checks defs/uses slot-by-slot per opcode family;
+* **dead definitions** (SA107) and **access-size mismatches** (SA109) as
+  warnings.
+
+:func:`repro.ir.validate.validate_loop` is now a thin wrapper that raises
+:class:`~repro.errors.IRError` on the first error-severity finding.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.ir.loop import Loop
+
+#: bytes moved by each sized memory opcode (lfetch touches a line, not a
+#: typed element, and is exempt)
+_OPCODE_WIDTH = {
+    "ld1": 1, "ld2": 2, "ld4": 4, "ld8": 8,
+    "ldfs": 4, "ldfd": 8,
+    "st1": 1, "st2": 2, "st4": 4, "st8": 8,
+    "stfs": 4, "stfd": 8,
+}
+
+
+def lint_loop(loop: Loop) -> DiagnosticReport:
+    """Run every SA1xx check over ``loop`` and return the findings."""
+    report = DiagnosticReport()
+    name = loop.name
+
+    if not loop.body:
+        report.add("SA101", "empty body", loop=name)
+        return report
+
+    # SA102: the back-edge branch is implicit in this IR
+    for inst in loop.body:
+        if inst.is_branch:
+            report.add(
+                "SA102",
+                "the back-edge branch is implicit; bodies must not contain "
+                "branch instructions",
+                loop=name,
+                inst=inst,
+            )
+
+    # SA103: dynamic-single-assignment — at most one def site per virtual
+    first_def: dict = {}
+    def_counts: dict = {}
+    for inst in loop.body:
+        for reg in inst.all_defs():
+            if not reg.virtual:
+                continue
+            def_counts[reg] = def_counts.get(reg, 0) + 1
+            first_def.setdefault(reg, inst.index)
+    for reg, count in def_counts.items():
+        if count > 1:
+            report.add(
+                "SA103",
+                f"register {reg} has multiple definitions ({count} sites)",
+                loop=name,
+                inst=first_def[reg],
+            )
+
+    # SA106 / SA105: memory-op shape, then operand arity slot-by-slot
+    for inst in loop.body:
+        if inst.is_memory and inst.address_reg is None:
+            report.add("SA106", "memory op without address", loop=name, inst=inst)
+            continue
+        if inst.is_load:
+            if len(inst.defs) != 1:
+                report.add(
+                    "SA105",
+                    f"load must define exactly one register, has {len(inst.defs)}",
+                    loop=name,
+                    inst=inst,
+                )
+        elif inst.is_store:
+            if inst.defs:
+                report.add(
+                    "SA105",
+                    "store must not define a register "
+                    "(value belongs in the second use slot)",
+                    loop=name,
+                    inst=inst,
+                )
+            if len(inst.uses) < 2:
+                report.add(
+                    "SA105",
+                    "store needs address and value operand slots "
+                    "(one mention is not both)",
+                    loop=name,
+                    inst=inst,
+                )
+        elif inst.is_prefetch and inst.defs:
+            report.add(
+                "SA105",
+                "prefetch must not define a register",
+                loop=name,
+                inst=inst,
+            )
+
+    # SA104: every virtual use needs a reaching definition or a live-in value
+    for inst in loop.body:
+        for reg in inst.all_uses():
+            if not reg.virtual or reg in loop.live_in:
+                continue
+            def_index = first_def.get(reg)
+            if def_index is None:
+                report.add(
+                    "SA104",
+                    f"register {reg} is used but never defined and not live-in",
+                    loop=name,
+                    inst=inst,
+                )
+            elif def_index >= inst.index:
+                # loop-carried first read: iteration 0 has no value yet
+                report.add(
+                    "SA104",
+                    f"register {reg} is read before its definition "
+                    f"(def at index {def_index}) without a live-in initial "
+                    "value",
+                    loop=name,
+                    inst=inst,
+                )
+
+    # SA107: defined, never consumed, not live-out
+    used = set()
+    for inst in loop.body:
+        used.update(r for r in inst.all_uses() if r.virtual)
+    for reg, index in first_def.items():
+        if reg not in used and reg not in loop.live_out:
+            report.add(
+                "SA107",
+                f"register {reg} is defined but never used and not live-out",
+                loop=name,
+                inst=index,
+            )
+
+    # SA108: live-out registers must be produced or pass through
+    for reg in sorted(loop.live_out, key=lambda r: (r.rclass.value, r.index)):
+        if reg.virtual and reg not in first_def and reg not in loop.live_in:
+            report.add(
+                "SA108",
+                f"live-out register {reg} is never defined",
+                loop=name,
+            )
+
+    # SA109: opcode width vs declared element size
+    for inst in loop.body:
+        width = _OPCODE_WIDTH.get(inst.opcode.mnemonic)
+        if width is None or inst.memref is None:
+            continue
+        if inst.memref.size != width:
+            report.add(
+                "SA109",
+                f"{inst.opcode.mnemonic} moves {width} bytes but memref "
+                f"{inst.memref.name!r} declares size={inst.memref.size}",
+                loop=name,
+                inst=inst,
+            )
+
+    return report

@@ -1,0 +1,315 @@
+"""Kernel and rotating-register verification (SA3xx).
+
+Checks the generated kernel and the rotating allocation against the
+renaming semantics of Sec. 1.1 — register rotation renames ``X`` into
+``X+1`` on every back edge, so a use ``rot`` kernel iterations after the
+definition must read ``phys + rot``, and stage ``s`` must be guarded by
+stage predicate ``p16+s`` — plus the blade discipline of Sec. 3.3 (one
+disjoint blade per rotated value, long enough to cover its modulo
+lifetime, within the machine's rotating capacity).
+
+Everything is re-derived here from the DDG and the raw time map;
+:mod:`repro.pipeliner.kernel` and :mod:`repro.regalloc.rotating` are only
+the *subjects* of the checks, never helpers.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.ddg.edges import DepKind
+from repro.ir.registers import (
+    Reg,
+    RegClass,
+    ROTATING_FR_BASE,
+    ROTATING_GR_BASE,
+    ROTATING_PR_BASE,
+)
+from repro.pipeliner.kernel import Kernel
+from repro.pipeliner.schedule import Schedule
+from repro.regalloc.rotating import RotatingAllocation
+
+_CLASS_BASES = {
+    RegClass.GR: ROTATING_GR_BASE,
+    RegClass.FR: ROTATING_FR_BASE,
+    RegClass.PR: ROTATING_PR_BASE,
+}
+
+
+def recompute_rotations(schedule: Schedule) -> dict[tuple[int, Reg], int]:
+    """Rotation distance each (consumer index, register) pair must bridge:
+    how many back-edges fire between the definition's kernel iteration and
+    the consuming one, ``t_use//II - t_def//II`` maximised over edges."""
+    rotations: dict[tuple[int, Reg], int] = {}
+    ii = schedule.ii
+    for edge in schedule.ddg.edges:
+        if edge.kind is not DepKind.FLOW or edge.reg is None:
+            continue
+        t_def = schedule.times[edge.src]
+        t_use = schedule.times[edge.dst] + ii * edge.omega
+        rot = t_use // ii - t_def // ii
+        key = (edge.dst.index, edge.reg)
+        rotations[key] = max(rotations.get(key, 0), rot)
+    return rotations
+
+
+def _check_shape(
+    kernel: Kernel, schedule: Schedule, report: DiagnosticReport
+) -> bool:
+    """SA301.  Returns False when the op<->body map is too broken to use."""
+    name = schedule.loop.name
+    ok = True
+    if kernel.ii != schedule.ii:
+        report.add(
+            "SA301",
+            f"kernel II is {kernel.ii}, schedule II is {schedule.ii}",
+            loop=name,
+        )
+        ok = False
+    sc = max(schedule.times.values()) // schedule.ii + 1
+    if kernel.stage_count != sc:
+        report.add(
+            "SA301",
+            f"kernel stage count is {kernel.stage_count}, "
+            f"re-derivation gives {sc}",
+            loop=name,
+        )
+    want_branch = "br.ctop" if schedule.loop.counted else "br.wtop"
+    if kernel.branch != want_branch:
+        report.add(
+            "SA301",
+            f"kernel branch is {kernel.branch!r}, "
+            f"a {'counted' if schedule.loop.counted else 'while'} loop "
+            f"needs {want_branch!r}",
+            loop=name,
+        )
+
+    seen: dict[int, int] = {}
+    for op in kernel.ops:
+        seen[id(op.inst)] = seen.get(id(op.inst), 0) + 1
+    for inst in schedule.loop.body:
+        count = seen.pop(id(inst), 0)
+        if count != 1:
+            report.add(
+                "SA301",
+                f"body instruction appears {count} times in the kernel",
+                loop=name,
+                inst=inst,
+            )
+            ok = False
+    if seen:
+        report.add(
+            "SA301",
+            f"kernel contains {len(seen)} op(s) not from the loop body",
+            loop=name,
+        )
+        ok = False
+    return ok
+
+
+def _check_stages(
+    kernel: Kernel, schedule: Schedule, report: DiagnosticReport
+) -> None:
+    """SA302: row/stage decomposition and stage predicates."""
+    name = schedule.loop.name
+    ii = schedule.ii
+    sc = max(schedule.times.values()) // ii + 1
+    for op in kernel.ops:
+        t = schedule.times[op.inst]
+        checks = [
+            ("row", op.row, t % ii),
+            ("stage", op.stage, t // ii),
+            ("stage predicate", op.stage_pred, ROTATING_PR_BASE + t // ii),
+        ]
+        for what, got, want in checks:
+            if got != want:
+                report.add(
+                    "SA302",
+                    f"{what} is {got}, t={t} under II={ii} gives {want}",
+                    loop=name,
+                    inst=op.inst,
+                )
+        if not 0 <= op.stage < sc:
+            report.add(
+                "SA302",
+                f"stage {op.stage} outside [0, {sc})",
+                loop=name,
+                inst=op.inst,
+            )
+
+
+def _check_renaming(
+    kernel: Kernel,
+    schedule: Schedule,
+    allocation: RotatingAllocation,
+    report: DiagnosticReport,
+) -> None:
+    """SA303: every rotated operand reads/writes the right physical reg."""
+    name = schedule.loop.name
+    rotations = recompute_rotations(schedule)
+    for op in kernel.ops:
+        want_defs = {
+            reg: allocation.blades[reg][0]
+            for reg in op.inst.all_defs()
+            if reg in allocation.blades
+        }
+        got_defs = dict(op.phys_defs)
+        if got_defs != want_defs:
+            report.add(
+                "SA303",
+                f"renamed defs {_fmt(got_defs)} != expected {_fmt(want_defs)}",
+                loop=name,
+                inst=op.inst,
+            )
+        want_uses = {}
+        for reg in op.inst.all_uses():
+            if reg not in allocation.blades:
+                continue  # live-in value in a static register
+            base, _span = allocation.blades[reg]
+            rot = rotations.get((op.inst.index, reg), 0)
+            want_uses[reg] = base + rot
+        got_uses = dict(op.phys_uses)
+        if got_uses != want_uses:
+            report.add(
+                "SA303",
+                f"renamed uses {_fmt(got_uses)} != expected {_fmt(want_uses)} "
+                "(a use rot iterations after its def must read phys + rot)",
+                loop=name,
+                inst=op.inst,
+            )
+
+
+def _fmt(renaming: dict[Reg, int]) -> str:
+    if not renaming:
+        return "{}"
+    inner = ", ".join(
+        f"{reg}->{reg.rclass.value}{num}" for reg, num in sorted(
+            renaming.items(), key=lambda kv: (kv[0].rclass.value, kv[0].index)
+        )
+    )
+    return "{" + inner + "}"
+
+
+def _check_blades(
+    schedule: Schedule,
+    allocation: RotatingAllocation,
+    report: DiagnosticReport,
+) -> None:
+    """SA304: blade coverage, disjointness and capacity, from scratch."""
+    name = schedule.loop.name
+    ii = schedule.ii
+    sc = max(schedule.times.values()) // ii + 1
+    loop = schedule.loop
+
+    # independently re-derive which values rotate and how far they reach
+    required: dict[Reg, int] = {}
+    for inst in loop.body:
+        t_def = schedule.times[inst]
+        for reg in inst.all_defs():
+            if not reg.virtual or reg in inst.all_uses():
+                continue  # static / self-recurrent: updated in place
+            end = t_def
+            for edge in schedule.ddg.edges:
+                if (
+                    edge.src is inst
+                    and edge.kind is DepKind.FLOW
+                    and edge.reg == reg
+                ):
+                    end = max(end, schedule.times[edge.dst] + ii * edge.omega)
+            if reg in loop.live_out:
+                end = max(end, t_def + ii)
+            required[reg] = end // ii - t_def // ii + 1
+
+    for reg, span_needed in required.items():
+        blade = allocation.blades.get(reg)
+        if blade is None:
+            report.add(
+                "SA304",
+                f"rotated register {reg} has no blade",
+                loop=name,
+            )
+            continue
+        _base, span = blade
+        if span < span_needed:
+            report.add(
+                "SA304",
+                f"blade span {span} of {reg} does not cover its lifetime "
+                f"(needs {span_needed} rotating registers)",
+                loop=name,
+            )
+    for reg in allocation.blades:
+        if reg not in required:
+            report.add(
+                "SA304",
+                f"{reg} has a blade but must stay static "
+                "(self-recurrent or not defined in the body)",
+                loop=name,
+            )
+
+    # disjointness and placement within each class's rotating window
+    by_class: dict[RegClass, list[tuple[int, int, Reg]]] = {}
+    for reg, (base, span) in allocation.blades.items():
+        by_class.setdefault(reg.rclass, []).append((base, base + span, reg))
+    for rclass, intervals in by_class.items():
+        class_base = _CLASS_BASES.get(rclass)
+        if class_base is None:
+            report.add(
+                "SA304",
+                f"register class {rclass.name} cannot rotate",
+                loop=name,
+            )
+            continue
+        lo = class_base + (sc if rclass is RegClass.PR else 0)
+        hi = class_base + schedule.machine.rotating_capacity(rclass)
+        intervals.sort()
+        prev_end, prev_reg = lo, None
+        for start, end, reg in intervals:
+            if start < lo:
+                what = (
+                    "the stage predicates"
+                    if rclass is RegClass.PR
+                    else "the rotating window"
+                )
+                report.add(
+                    "SA304",
+                    f"blade of {reg} at {rclass.value}{start} overlaps {what} "
+                    f"(first free register is {rclass.value}{lo})",
+                    loop=name,
+                )
+            if start < prev_end and prev_reg is not None:
+                report.add(
+                    "SA304",
+                    f"blades of {prev_reg} and {reg} overlap "
+                    f"({rclass.value}{start} < {rclass.value}{prev_end})",
+                    loop=name,
+                )
+            if end > hi:
+                report.add(
+                    "SA304",
+                    f"blade of {reg} ends at {rclass.value}{end}, past the "
+                    f"rotating capacity ({rclass.value}{hi})",
+                    loop=name,
+                )
+            prev_end, prev_reg = max(prev_end, end), reg
+
+    # bookkeeping the driver reports in stats
+    for rclass, used in allocation.used.items():
+        capacity = schedule.machine.rotating_capacity(rclass)
+        if used > capacity:
+            report.add(
+                "SA304",
+                f"{rclass.name} rotating demand {used} exceeds "
+                f"capacity {capacity}",
+                loop=name,
+            )
+
+
+def verify_kernel(
+    kernel: Kernel, schedule: Schedule, allocation: RotatingAllocation
+) -> DiagnosticReport:
+    """Run every SA3xx check over one kernel + allocation."""
+    report = DiagnosticReport()
+    if _check_shape(kernel, schedule, report):
+        _check_stages(kernel, schedule, report)
+        _check_renaming(kernel, schedule, allocation, report)
+    _check_blades(schedule, allocation, report)
+    return report

@@ -1,0 +1,259 @@
+"""Modulo-schedule verification (SA2xx).
+
+Re-derives every scheduling invariant of Sec. 1.1 from first principles —
+deliberately *without* calling :meth:`repro.pipeliner.schedule.Schedule.verify`,
+the MRT, or the bound computations it cross-checks:
+
+* SA201 — the time map covers exactly the loop body, at non-negative
+  times normalised to start at 0, under a positive II;
+* SA202 — every DDG edge satisfies ``t(dst) + II*omega - t(src) >= lat``
+  with the edge latency recomputed here from the opcode table, the hint
+  translation and the boost set;
+* SA203 — per-row resource usage rebuilt from scratch fits the machine's
+  port capacities (M/I/F/B, the pooled M+I capacity for A-type ops, the
+  issue width) including the implicit loop branch in the last row;
+* SA204 — the derived bookkeeping (stage count ``SC = max t // II + 1``
+  and the :class:`~repro.pipeliner.stats.PipelineStats` counters) matches;
+* SA205 — per-load placement metrics: use distance, additional latency
+  ``d`` (Sec. 2.1) and clustering factor ``k = d // II + 1`` (Equ. (3)).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.ddg.edges import DepEdge, DepKind
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import UnitClass
+from repro.pipeliner.schedule import Schedule
+from repro.pipeliner.stats import PipelineStats
+
+#: independent restatement of the fixed non-flow edge latencies: an anti
+#: dependence allows same-cycle placement, ordering edges need one cycle
+_NON_FLOW_LATENCY = {
+    DepKind.ANTI: 0,
+    DepKind.MEM_ANTI: 0,
+    DepKind.OUTPUT: 1,
+    DepKind.MEM_OUTPUT: 1,
+    DepKind.MEM_FLOW: 1,
+}
+
+
+def edge_latency(edge: DepEdge, schedule: Schedule) -> int:
+    """Recompute the latency the schedule must honour for ``edge``."""
+    if edge.kind is not DepKind.FLOW:
+        return _NON_FLOW_LATENCY[edge.kind]
+    src = edge.src
+    base = src.opcode.latency
+    if src.is_memory and edge.reg is not None and edge.reg not in src.defs:
+        return 1  # post-incremented address: an ALU-style result
+    if src.is_load:
+        if schedule.criticality.is_boosted(src) and src.memref is not None:
+            translation = schedule.machine.translation
+            return translation.scheduling_latency(
+                src.memref.hint, src.is_fp, base
+            )
+        return base
+    return max(1, base)
+
+
+def recompute_use_distance(schedule: Schedule, load: Instruction) -> int | None:
+    """Cycles from ``load`` to its earliest *data* use, folded across
+    iterations — ``min(t(use) + II*omega - t(load))`` over flow edges that
+    carry the load's data result (not its post-incremented address)."""
+    data = set(load.defs)
+    distances = [
+        schedule.times[e.dst] + schedule.ii * e.omega - schedule.times[load]
+        for e in schedule.ddg.edges
+        if e.src is load and e.kind is DepKind.FLOW and e.reg in data
+    ]
+    return min(distances) if distances else None
+
+
+def _check_domain(schedule: Schedule, report: DiagnosticReport) -> bool:
+    """SA201.  Returns False when later checks cannot run safely."""
+    name = schedule.loop.name
+    ok = True
+    if schedule.ii < 1:
+        report.add("SA201", f"II must be >= 1, got {schedule.ii}", loop=name)
+        return False
+    body = set(schedule.loop.body)
+    timed = set(schedule.times)
+    for inst in body - timed:
+        report.add("SA201", "instruction has no schedule time", loop=name,
+                   inst=inst)
+        ok = False
+    for inst in timed - body:
+        report.add("SA201", "scheduled instruction is not in the loop body",
+                   loop=name, inst=inst)
+        ok = False
+    if not ok:
+        return False
+    times = schedule.times.values()
+    if times and min(times) != 0:
+        report.add(
+            "SA201",
+            f"times are not normalised: min(t) = {min(times)}, expected 0",
+            loop=name,
+        )
+    for inst, t in schedule.times.items():
+        if t < 0:
+            report.add("SA201", f"negative schedule time t={t}", loop=name,
+                       inst=inst)
+    return True
+
+
+def _check_dependences(schedule: Schedule, report: DiagnosticReport) -> None:
+    """SA202: replay every DDG edge."""
+    name = schedule.loop.name
+    ii = schedule.ii
+    for edge in schedule.ddg.edges:
+        lat = edge_latency(edge, schedule)
+        slack = (
+            schedule.times[edge.dst]
+            + ii * edge.omega
+            - schedule.times[edge.src]
+            - lat
+        )
+        if slack < 0:
+            report.add(
+                "SA202",
+                f"edge {edge.src.index}->{edge.dst.index} "
+                f"({edge.kind.value}, omega={edge.omega}) violated: "
+                f"t(dst)={schedule.times[edge.dst]} + II*omega "
+                f"- t(src)={schedule.times[edge.src]} < latency {lat}",
+                loop=name,
+                inst=edge.dst,
+                detail={"slack": slack, "latency": lat},
+            )
+
+
+def _check_resources(schedule: Schedule, report: DiagnosticReport) -> None:
+    """SA203: rebuild per-row port usage independently of the MRT."""
+    name = schedule.loop.name
+    ii = schedule.ii
+    res = schedule.machine.resources
+    cap = res.capacities
+    rows: list[list[Instruction]] = [[] for _ in range(ii)]
+    for inst, t in schedule.times.items():
+        rows[t % ii].append(inst)
+
+    for row_no, insts in enumerate(rows):
+        counts: Counter = Counter(inst.opcode.unit for inst in insts)
+        # the implicit br.ctop/br.wtop issues in the last row
+        branch = 1 if row_no == ii - 1 else 0
+        limits = [
+            ("M ports", counts[UnitClass.M], cap[UnitClass.M]),
+            ("I ports", counts[UnitClass.I], cap[UnitClass.I]),
+            ("F ports", counts[UnitClass.F], cap[UnitClass.F]),
+            ("B ports", counts[UnitClass.B] + branch, cap[UnitClass.B]),
+            (
+                "pooled M+I ports (A-type)",
+                counts[UnitClass.M] + counts[UnitClass.I] + counts[UnitClass.A],
+                cap[UnitClass.M] + cap[UnitClass.I],
+            ),
+            ("issue slots", len(insts) + branch, res.issue_width),
+        ]
+        for what, demand, capacity in limits:
+            if demand > capacity:
+                report.add(
+                    "SA203",
+                    f"row {row_no}: {what} over-subscribed "
+                    f"({demand} > {capacity})",
+                    loop=name,
+                    detail={"row": row_no, "demand": demand,
+                            "capacity": capacity},
+                )
+
+
+def _check_bookkeeping(
+    schedule: Schedule, stats: PipelineStats, report: DiagnosticReport
+) -> None:
+    """SA204: stage count and stats counters against the raw time map."""
+    name = schedule.loop.name
+    sc = max(schedule.times.values()) // schedule.ii + 1
+    checks = [
+        ("stats.ii", stats.ii, schedule.ii),
+        ("stats.stage_count", stats.stage_count, sc),
+        ("schedule.stage_count", schedule.stage_count, sc),
+        (
+            "stats.boosted_loads",
+            stats.boosted_loads,
+            len(schedule.criticality.boosted),
+        ),
+        (
+            "stats.critical_loads",
+            stats.critical_loads,
+            len(schedule.criticality.critical),
+        ),
+        ("stats.total_loads", stats.total_loads, len(schedule.loop.loads)),
+    ]
+    for what, got, want in checks:
+        if got != want:
+            report.add(
+                "SA204",
+                f"{what} is {got}, re-derivation gives {want}",
+                loop=name,
+            )
+    if not stats.pipelined:
+        report.add(
+            "SA204",
+            "stats claim the loop was not pipelined, yet a schedule exists",
+            loop=name,
+        )
+
+
+def _check_placements(
+    schedule: Schedule, stats: PipelineStats, report: DiagnosticReport
+) -> None:
+    """SA205: the recorded LoadPlacement metrics against recomputation."""
+    name = schedule.loop.name
+    ii = schedule.ii
+    by_load = {p.load: p for p in stats.placements}
+    for load in schedule.loop.loads:
+        placement = by_load.pop(load, None)
+        if placement is None:
+            report.add("SA205", "load has no recorded placement", loop=name,
+                       inst=load)
+            continue
+        distance = recompute_use_distance(schedule, load)
+        additional = 0 if distance is None else max(
+            0, distance - load.opcode.latency
+        )
+        checks = [
+            ("time", placement.time, schedule.times[load]),
+            ("use_distance", placement.use_distance, distance),
+            ("additional latency d", placement.additional_latency, additional),
+            (
+                "clustering factor k",
+                placement.clustering_factor(ii),
+                additional // ii + 1,
+            ),
+        ]
+        for what, got, want in checks:
+            if got != want:
+                report.add(
+                    "SA205",
+                    f"placement {what} is {got}, re-derivation gives {want}",
+                    loop=name,
+                    inst=load,
+                )
+    for load in by_load:
+        report.add("SA205", "placement recorded for a non-loop load",
+                   loop=name, inst=load)
+
+
+def verify_schedule(
+    schedule: Schedule, stats: PipelineStats | None = None
+) -> DiagnosticReport:
+    """Run every SA2xx check; ``stats`` enables SA204/SA205."""
+    report = DiagnosticReport()
+    if not _check_domain(schedule, report):
+        return report
+    _check_dependences(schedule, report)
+    _check_resources(schedule, report)
+    if stats is not None:
+        _check_bookkeeping(schedule, stats, report)
+        _check_placements(schedule, stats, report)
+    return report

@@ -1,0 +1,55 @@
+"""Top-level translation validation: run every analysis over one loop.
+
+This is the entry point the CLI (``python -m repro lint``, ``--verify``)
+and the harness use.  It composes the four passes:
+
+* :func:`repro.analysis.irlint.lint_loop` (SA1xx) on the compiled loop
+  (after HLO, so inserted prefetches are linted too);
+* :func:`repro.analysis.schedverify.verify_schedule` (SA2xx),
+* :func:`repro.analysis.kernelverify.verify_kernel` (SA3xx), and
+* :func:`repro.analysis.hintcheck.verify_hints` (SA4xx)
+  when the loop was actually software-pipelined.
+
+Loops the driver left sequential (low trip counts, scheduling failures)
+only get the IR lint — there is no schedule to validate.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.hintcheck import verify_hints
+from repro.analysis.irlint import lint_loop
+from repro.analysis.kernelverify import verify_kernel
+from repro.analysis.schedverify import verify_schedule
+from repro.core.compiler import CompiledLoop
+from repro.pipeliner.driver import PipelineResult
+
+
+def verify_result(result: PipelineResult) -> DiagnosticReport:
+    """Validate one pipeliner result end to end."""
+    report = lint_loop(result.loop)
+    if result.pipelined and result.schedule is not None:
+        report.extend(verify_schedule(result.schedule, result.stats))
+        if result.kernel is not None and result.rotating is not None:
+            report.extend(
+                verify_kernel(result.kernel, result.schedule, result.rotating)
+            )
+        report.extend(verify_hints(result.schedule, result.stats))
+    return report
+
+
+def verify_compiled(compiled: CompiledLoop) -> DiagnosticReport:
+    """Validate one compiled loop (the HLO-transformed IR + its schedule)."""
+    return verify_result(compiled.result)
+
+
+def verification_status(report: DiagnosticReport) -> dict:
+    """Compact, JSON-serialisable summary for manifests and job payloads."""
+    counts = report.counts()
+    return {
+        "ok": report.ok,
+        "errors": counts["error"],
+        "warnings": counts["warning"],
+        "notes": counts["note"],
+        "codes": report.codes(),
+    }

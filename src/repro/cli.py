@@ -1,18 +1,24 @@
 """Command-line interface.
 
-Six subcommands::
+Seven subcommands::
 
     python -m repro compile loop.s --policy hlo        # kernel + stats
     python -m repro simulate loop.s --trips 2000 --invocations 3 \\
         --space a=64M --space b=64M                    # cycles + counters
+    python -m repro lint loop.s --format json          # static analysis
+    python -m repro lint --suite cpu2006               # validate a suite
     python -m repro experiment --suite cpu2006 --policy hlo -n 32 \\
         --jobs 4 --cache-dir .repro-cache
     python -m repro bench --suite cpu2006 --jobs 8     # parallel sweep
     python -m repro compare runA.json runB.json        # manifest diff
     python -m repro fig5                               # the theory curves
 
+``compile``, ``experiment`` and ``bench`` additionally take ``--verify``,
+which runs the :mod:`repro.analysis` translation validator over every
+scheduled loop (see ``docs/analysis.md`` for the SAnnn code reference).
+
 The loop file format is the textual dialect of
-:func:`repro.ir.parser.parse_loop` (see examples in tests/ and README).
+:func:`repro.ir.parser.parse_loop` (see examples/loops/ and README).
 """
 
 from __future__ import annotations
@@ -138,7 +144,65 @@ def cmd_compile(args: argparse.Namespace) -> int:
                 f"d={p.additional_latency} "
                 f"k={p.clustering_factor(stats.ii)} boosted={p.boosted}"
             )
+    if args.verify:
+        from repro.analysis import verify_compiled
+
+        report = verify_compiled(compiled)
+        print()
+        print(f"verification: {'OK' if report.ok else 'FAILED'}")
+        if report.findings:
+            print(report.render_text())
+        if not report.ok:
+            return 1
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import DiagnosticReport, lint_loop, verify_compiled
+    from repro.core.compiler import LoopCompiler
+    from repro.ir import parse_loop
+    from repro.machine import ItaniumMachine
+
+    config = make_config(args)
+    compiler = LoopCompiler(ItaniumMachine(), config)
+    report = DiagnosticReport()
+    linted = 0
+
+    def check(loop, profile=None) -> None:
+        nonlocal linted
+        linted += 1
+        findings = lint_loop(loop)
+        if findings.ok:
+            # clean IR: compile it and translation-validate the full
+            # result (the lint re-runs there on the HLO-transformed loop)
+            findings = verify_compiled(compiler.compile(loop, profile))
+        report.extend(findings)
+
+    for path in args.loop_files:
+        check(parse_loop(open(path).read()))
+
+    if args.suite:
+        from repro.harness.jobs import collect_profile
+        from repro.workloads import suite_by_name
+
+        for bench in suite_by_name(args.suite):
+            profile = (
+                collect_profile(bench, args.seed) if config.pgo else None
+            )
+            for lw in bench.loops:
+                loop, _ = lw.build()
+                check(loop, profile)
+
+    if not linted:
+        print("error: nothing to lint (give loop files and/or --suite)",
+              file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+        print(f"linted {linted} loop(s): {'OK' if report.ok else 'FAILED'}")
+    return 0 if report.ok else 1
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -213,13 +277,25 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         workers=args.jobs,
         cache=_open_cache(args),
         suite_name=args.suite,
+        verify=args.verify,
     )
     result = compare_configs(run, base.label, variant.label)
     print(format_gain_table(
         {variant.label: result},
         title=f"{args.suite} — {variant.label} vs {base.label}",
     ))
-    return 0
+    return _report_manifest_verification(run.manifest, args)
+
+
+def _report_manifest_verification(manifest, args: argparse.Namespace) -> int:
+    """Print the verification line and pick the exit code for --verify."""
+    if not getattr(args, "verify", False):
+        return 0
+    print(
+        f"verification: {manifest.verified_cells}/{len(manifest.cells)} "
+        f"cells verified, {manifest.verify_errors} error(s)"
+    )
+    return 1 if manifest.verify_errors else 0
 
 
 def _bench_configs(args: argparse.Namespace) -> tuple[CompilerConfig, list]:
@@ -259,6 +335,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         suite_name=args.suite,
         manifest_path=manifest_path,
+        verify=args.verify,
     )
     if variants:
         results = {
@@ -271,7 +348,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print()
     print(run.manifest.summary())
     print(f"manifest: {manifest_path}")
-    return 0
+    return _report_manifest_verification(run.manifest, args)
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -308,8 +385,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile = sub.add_parser("compile", help="compile a loop file")
     p_compile.add_argument("loop_file")
     p_compile.add_argument("-v", "--verbose", action="store_true")
+    p_compile.add_argument("--verify", action="store_true",
+                           help="translation-validate the compiled loop")
     _add_config_args(p_compile)
     p_compile.set_defaults(func=cmd_compile)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static analysis: lint loop files / translation-validate suites",
+    )
+    p_lint.add_argument("loop_files", nargs="*", metavar="LOOP_FILE",
+                        help="loop files in the textual IR dialect")
+    p_lint.add_argument("--suite", choices=["cpu2006", "cpu2000", "micro"],
+                        help="also lint every loop of a workload suite")
+    p_lint.add_argument("--format", choices=["text", "json"], default="text",
+                        help="finding renderer (default: text)")
+    p_lint.add_argument("--seed", type=int, default=2008,
+                        help="PGO profile seed for suite loops")
+    _add_config_args(p_lint)
+    p_lint.set_defaults(func=cmd_lint)
 
     p_sim = sub.add_parser("simulate", help="compile and simulate a loop")
     p_sim.add_argument("loop_file")
@@ -335,6 +429,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="content-addressed artifact cache directory")
     p_exp.add_argument("--no-cache", action="store_true",
                        help="ignore the artifact cache")
+    p_exp.add_argument("--verify", action="store_true",
+                       help="translation-validate every compiled loop")
     _add_config_args(p_exp)
     p_exp.set_defaults(func=cmd_experiment)
 
@@ -373,6 +469,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--manifest", metavar="PATH",
                          help="manifest output path "
                               "(default: benchmarks/results/runs/<stamp>.json)")
+    p_bench.add_argument("--verify", action="store_true",
+                         help="translation-validate every compiled loop "
+                              "and record the status in the manifest")
     p_bench.set_defaults(func=cmd_bench)
 
     p_cmp = sub.add_parser("compare", help="diff two run manifests")

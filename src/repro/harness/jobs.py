@@ -48,6 +48,8 @@ class BenchmarkJob:
     config: CompilerConfig
     machine: ItaniumMachine = dataclasses.field(default_factory=ItaniumMachine)
     seed: int = 2008
+    #: run the repro.analysis translation validator on every compiled loop
+    verify: bool = False
 
     @property
     def key(self) -> tuple[str, str]:
@@ -65,6 +67,9 @@ class LoopRunOutcome:
     loop_cycles: float
     counters: PerfCounters
     outcomes: list[LoopOutcome] = dataclasses.field(default_factory=list)
+    #: aggregate verifier findings (see :func:`aggregate_verification`),
+    #: present when the run was executed/cached with ``verify=True``
+    verification: dict | None = None
 
 
 @dataclasses.dataclass
@@ -75,6 +80,8 @@ class JobOutcome:
     #: True when both loop runs (config + baseline anchor) came from cache
     cache_hit: bool
     duration_s: float
+    #: translation-validation summary of the variant run (None: not asked)
+    verification: dict | None = None
 
 
 def _stable(text: str) -> int:
@@ -94,18 +101,44 @@ def collect_profile(bench: Benchmark, seed: int) -> BlockProfile:
     return collect_block_profile(dists, seed=seed)
 
 
+def aggregate_verification(reports: list) -> dict:
+    """Fold per-loop :class:`~repro.analysis.DiagnosticReport` values into
+    the compact, JSON-serialisable form stored in cache payloads, job
+    outcomes and manifest cells."""
+    codes: set[str] = set()
+    errors = warnings = notes = 0
+    for report in reports:
+        counts = report.counts()
+        errors += counts["error"]
+        warnings += counts["warning"]
+        notes += counts["note"]
+        codes.update(report.codes())
+    return {
+        "ok": errors == 0,
+        "loops": len(reports),
+        "errors": errors,
+        "warnings": warnings,
+        "notes": notes,
+        "codes": sorted(codes),
+    }
+
+
 def run_loops(
     bench: Benchmark,
     config: CompilerConfig,
     machine: ItaniumMachine,
     seed: int,
     profile: BlockProfile | None | object = _AUTO_PROFILE,
+    verify: bool = False,
 ) -> LoopRunOutcome:
     """Compile and simulate every hot loop of ``bench`` under ``config``.
 
     Pure in all arguments: same inputs, bit-identical outputs.  ``profile``
     defaults to the training profile when the config uses PGO; pass an
-    explicit profile to reuse a memoised one.
+    explicit profile to reuse a memoised one.  ``verify`` runs the
+    :mod:`repro.analysis` translation validator on each compiled loop and
+    fills :attr:`LoopRunOutcome.verification` (simulation results are not
+    affected).
     """
     if profile is _AUTO_PROFILE:
         profile = collect_profile(bench, seed) if config.pgo else None
@@ -113,9 +146,14 @@ def run_loops(
     total = 0.0
     counters = PerfCounters()
     outcomes: list[LoopOutcome] = []
+    reports = []
     for pos, lw in enumerate(bench.loops):
         loop, layout = lw.build()
         compiled = compiler.compile(loop, profile)
+        if verify:
+            from repro.analysis import verify_compiled
+
+            reports.append(verify_compiled(compiled))
         rng = np.random.default_rng(seed + pos * 977 + _stable(bench.name))
         trips = lw.data.ref.sample(rng, lw.invocations)
         memory = MemorySystem(machine.timings)
@@ -140,7 +178,12 @@ def run_loops(
                 counters=sim.counters,
             )
         )
-    return LoopRunOutcome(loop_cycles=total, counters=counters, outcomes=outcomes)
+    return LoopRunOutcome(
+        loop_cycles=total,
+        counters=counters,
+        outcomes=outcomes,
+        verification=aggregate_verification(reports) if verify else None,
+    )
 
 
 def assemble_result(
@@ -297,28 +340,37 @@ def cached_loop_run(
     machine: ItaniumMachine,
     seed: int,
     cache=None,
+    verify: bool = False,
 ) -> tuple[LoopRunOutcome, bool]:
-    """A loop run served from ``cache`` when possible; ``(run, was_hit)``."""
+    """A loop run served from ``cache`` when possible; ``(run, was_hit)``.
+
+    Verification status rides along in the cache payload.  A hit written
+    by a non-verifying run does not satisfy a ``verify=True`` request: the
+    run is re-executed with verification and the payload upgraded in place
+    (the cache key is unchanged — cycles and counters are bit-identical).
+    """
     if cache is None:
-        return run_loops(bench, config, machine, seed), False
+        return run_loops(bench, config, machine, seed, verify=verify), False
     from repro.harness.cache import hash_key
 
     key = hash_key(loop_run_key(bench, config, machine, seed))
     payload = cache.get(key)
-    if payload is not None:
+    if payload is not None and not (verify and payload.get("verification") is None):
         return (
             LoopRunOutcome(
                 loop_cycles=payload["loop_cycles"],
                 counters=counters_from_dict(payload["counters"]),
+                verification=payload.get("verification"),
             ),
             True,
         )
-    run = run_loops(bench, config, machine, seed)
+    run = run_loops(bench, config, machine, seed, verify=verify)
     cache.put(key, {
         "benchmark": bench.name,
         "config": config.label,
         "loop_cycles": run.loop_cycles,
         "counters": counters_to_dict(run.counters),
+        "verification": run.verification,
     })
     return run, False
 
@@ -333,12 +385,14 @@ def run_job(job: BenchmarkJob, cache=None) -> JobOutcome:
     start = time.perf_counter()
     bench = job.benchmark
     variant_run, variant_hit = cached_loop_run(
-        bench, job.config, job.machine, job.seed, cache
+        bench, job.config, job.machine, job.seed, cache, verify=job.verify
     )
     anchor_cfg = baseline_config()
     if job.config.label == anchor_cfg.label:
         anchor_run, anchor_hit = variant_run, variant_hit
     else:
+        # the anchor is only priced, never reported: its own (benchmark,
+        # baseline) cell carries the verification status for that config
         anchor_run, anchor_hit = cached_loop_run(
             bench, anchor_cfg, job.machine, job.seed, cache
         )
@@ -348,4 +402,5 @@ def run_job(job: BenchmarkJob, cache=None) -> JobOutcome:
         result=result,
         cache_hit=variant_hit and anchor_hit,
         duration_s=time.perf_counter() - start,
+        verification=variant_run.verification,
     )

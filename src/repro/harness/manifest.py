@@ -56,6 +56,12 @@ class CellRecord:
     serial_cycles: float
     cache_hit: bool
     duration_s: float
+    # translation-validation status (defaults keep pre-verify manifests
+    # loading through CellRecord(**cell))
+    #: the repro.analysis verifier ran on this cell's compiled loops
+    verified: bool = False
+    verify_errors: int = 0
+    verify_warnings: int = 0
 
 
 @dataclasses.dataclass
@@ -152,11 +158,26 @@ class RunManifest:
             raise HarnessError(f"cannot read manifest {path}: {exc}") from exc
         return RunManifest.from_dict(data)
 
+    # --- verification accounting --------------------------------------------
+    @property
+    def verified_cells(self) -> int:
+        return sum(1 for cell in self.cells if cell.verified)
+
+    @property
+    def verify_errors(self) -> int:
+        return sum(cell.verify_errors for cell in self.cells)
+
     def summary(self) -> str:
-        return (
+        text = (
             f"run {self.run_id}: {len(self.cells)} cells, "
             f"{len(self.configs)} configs, workers={self.workers}, "
             f"cache {self.cache_hits}/{len(self.cells)} hits "
             f"({100 * self.cache_hit_rate:.0f}%), "
-            f"wall {self.wall_time_s:.1f}s"
         )
+        if self.verified_cells:
+            text += (
+                f"verified {self.verified_cells}/{len(self.cells)} cells "
+                f"({self.verify_errors} error(s)), "
+            )
+        text += f"wall {self.wall_time_s:.1f}s"
+        return text

@@ -124,6 +124,7 @@ def run_suite(
     timeout: float | None = None,
     suite_name: str = "",
     manifest_path: str | Path | None = None,
+    verify: bool = False,
 ) -> SuiteRun:
     """Run every benchmark under every config, in parallel, with caching.
 
@@ -131,6 +132,8 @@ def run_suite(
     When ``manifest_path`` is given the manifest is written there; pass
     ``manifest_path=""`` (falsy) to skip writing, or a directory-less
     default is derived from :func:`default_runs_dir` by the CLI layer.
+    ``verify`` runs the :mod:`repro.analysis` translation validator on
+    every compiled loop and records the status per manifest cell.
     """
     machine = machine or ItaniumMachine()
     unique_configs: list[CompilerConfig] = []
@@ -141,7 +144,8 @@ def run_suite(
             unique_configs.append(config)
 
     jobs = [
-        BenchmarkJob(benchmark=bench, config=config, machine=machine, seed=seed)
+        BenchmarkJob(benchmark=bench, config=config, machine=machine,
+                     seed=seed, verify=verify)
         for config in unique_configs
         for bench in benchmarks
     ]
@@ -156,6 +160,7 @@ def run_suite(
     for job, outcome in zip(jobs, outcomes):
         result = outcome.result
         results[job.config.label][job.benchmark.name] = result
+        verification = outcome.verification or {}
         cells.append(CellRecord(
             benchmark=result.name,
             suite=result.suite,
@@ -165,6 +170,9 @@ def run_suite(
             serial_cycles=result.serial_cycles,
             cache_hit=outcome.cache_hit,
             duration_s=outcome.duration_s,
+            verified=outcome.verification is not None,
+            verify_errors=verification.get("errors", 0),
+            verify_warnings=verification.get("warnings", 0),
         ))
 
     manifest = RunManifest.new(

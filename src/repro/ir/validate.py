@@ -4,52 +4,25 @@ The pipeliner relies on loops being in a dynamic-single-assignment-friendly
 form: every virtual register has at most one definition site in the body
 (the same site may both read and write a register, which is how induction
 variables and accumulators express loop recurrences).
+
+The actual checks live in :mod:`repro.analysis.irlint` (the SA1xx lint
+pass), which also covers the gaps the original in-line version had:
+use-before-def of virtuals not in ``live_in`` and slot-by-slot operand
+arity.  :func:`validate_loop` is kept as the raising entry point the
+parser and builders call.
 """
 
 from __future__ import annotations
-
-from collections import Counter
 
 from repro.errors import IRError
 from repro.ir.loop import Loop
 
 
 def validate_loop(loop: Loop) -> None:
-    """Raise :class:`IRError` if ``loop`` violates IR invariants."""
-    if not loop.body:
-        raise IRError(f"loop {loop.name!r} has an empty body")
+    """Raise :class:`IRError` on the first error-severity lint finding."""
+    # imported lazily: repro.analysis imports the IR modules
+    from repro.analysis.irlint import lint_loop
 
-    def_counts: Counter = Counter()
-    for inst in loop.body:
-        if inst.is_branch:
-            raise IRError(
-                f"loop {loop.name!r}: the back-edge branch is implicit; "
-                "bodies must not contain branch instructions"
-            )
-        for reg in inst.all_defs():
-            if not reg.virtual:
-                continue
-            def_counts[reg] += 1
-
-    multi = [reg for reg, n in def_counts.items() if n > 1]
-    if multi:
-        names = ", ".join(str(r) for r in sorted(multi, key=lambda r: r.index))
-        raise IRError(
-            f"loop {loop.name!r}: registers with multiple definitions: {names}"
-        )
-
-    for inst in loop.body:
-        if inst.is_memory and inst.address_reg is None:
-            raise IRError(f"loop {loop.name!r}: memory op without address: {inst}")
-        if inst.is_store and len(inst.uses) < 2:
-            raise IRError(
-                f"loop {loop.name!r}: store needs address and value: {inst}"
-            )
-
-    # live-out registers must be produced by the loop or pass through it
-    defined = set(def_counts)
-    for reg in loop.live_out:
-        if reg.virtual and reg not in defined and reg not in loop.live_in:
-            raise IRError(
-                f"loop {loop.name!r}: live-out register {reg} is never defined"
-            )
+    errors = lint_loop(loop).errors
+    if errors:
+        raise IRError(f"loop {loop.name!r}: {errors[0].message}")

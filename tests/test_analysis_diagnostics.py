@@ -1,0 +1,132 @@
+"""Tests for the diagnostics framework: registry, findings, renderers."""
+
+import json
+
+import pytest
+
+from repro.analysis import CODES, Diagnostic, DiagnosticReport, Severity
+from repro.ir import Instruction, Loop, opcode
+from repro.ir.registers import greg
+
+
+def make_inst():
+    loop = Loop(
+        "probe",
+        body=[Instruction(opcode("add"), defs=(greg(7),), uses=(greg(4),))],
+        live_in={greg(4)},
+        live_out={greg(7)},
+    )
+    return loop.body[0]
+
+
+class TestRegistry:
+    def test_every_subsystem_is_covered(self):
+        prefixes = {code[:3] for code in CODES}
+        assert prefixes == {"SA1", "SA2", "SA3", "SA4"}
+
+    def test_codes_are_well_formed(self):
+        for code, info in CODES.items():
+            assert code == info.code
+            assert code.startswith("SA") and code[2:].isdigit()
+            assert info.title
+            assert isinstance(info.severity, Severity)
+
+    def test_exactly_one_note_code(self):
+        notes = [c for c, i in CODES.items() if i.severity is Severity.NOTE]
+        assert notes == ["SA404"]
+
+    def test_severity_ordering(self):
+        assert Severity.ERROR < Severity.WARNING < Severity.NOTE
+        assert not Severity.NOTE < Severity.ERROR
+
+    def test_docs_list_every_code(self):
+        """docs/analysis.md is the user-facing registry; keep it in sync."""
+        from pathlib import Path
+
+        docs = (
+            Path(__file__).resolve().parent.parent / "docs" / "analysis.md"
+        ).read_text()
+        for code in CODES:
+            assert code in docs, f"{code} missing from docs/analysis.md"
+
+
+class TestDiagnostic:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown diagnostic code"):
+            Diagnostic(code="SA999", message="nope")
+
+    def test_severity_and_title_come_from_registry(self):
+        diag = Diagnostic(code="SA404", message="m")
+        assert diag.severity is Severity.NOTE
+        assert diag.title == CODES["SA404"].title
+
+    def test_format_carries_location_and_instruction(self):
+        report = DiagnosticReport()
+        diag = report.add("SA107", "never used", loop="probe",
+                          inst=make_inst())
+        line = diag.format()
+        assert line.startswith("probe:0: SA107 warning: never used")
+        assert "[add vr7 = vr4]" in line
+
+    def test_to_dict_is_json_ready(self):
+        diag = Diagnostic(code="SA202", message="m", loop="l", inst=3,
+                          detail={"slack": -2})
+        payload = diag.to_dict()
+        assert payload["code"] == "SA202"
+        assert payload["severity"] == "error"
+        assert payload["inst"] == 3
+        assert payload["detail"] == {"slack": -2}
+        json.dumps(payload)  # must round-trip
+
+
+class TestReport:
+    def make_report(self):
+        report = DiagnosticReport()
+        report.add("SA404", "stretched", loop="l", inst=2)
+        report.add("SA202", "violated", loop="l", inst=1)
+        report.add("SA107", "dead", loop="l", inst=0)
+        return report
+
+    def test_accounting(self):
+        report = self.make_report()
+        assert len(report) == 3
+        assert report.counts() == {"error": 1, "warning": 1, "note": 1}
+        assert not report.ok
+        assert report.codes() == ["SA107", "SA202", "SA404"]
+        assert report.has("SA202") and not report.has("SA203")
+
+    def test_ok_ignores_warnings_and_notes(self):
+        report = DiagnosticReport()
+        report.add("SA107", "dead", loop="l")
+        report.add("SA404", "stretched", loop="l")
+        assert report.ok
+
+    def test_sorted_is_most_severe_first(self):
+        codes = [d.code for d in self.make_report().sorted()]
+        assert codes == ["SA202", "SA107", "SA404"]
+
+    def test_extend_merges(self):
+        a, b = self.make_report(), self.make_report()
+        assert len(a.extend(b)) == 6
+
+    def test_render_text(self):
+        text = self.make_report().render_text()
+        assert text.splitlines()[0].startswith("l:1: SA202 error:")
+        assert text.endswith("1 error(s), 1 warning(s), 1 note(s)")
+        assert DiagnosticReport().render_text() == "no findings"
+
+    def test_render_json_matches_to_dict(self):
+        report = self.make_report()
+        assert json.loads(report.render_json()) == report.to_dict()
+        payload = report.to_dict()
+        assert payload["ok"] is False
+        assert [f["code"] for f in payload["findings"]] == [
+            "SA202", "SA107", "SA404",
+        ]
+
+    def test_add_accepts_instruction_or_index(self):
+        report = DiagnosticReport()
+        by_inst = report.add("SA103", "m", loop="l", inst=make_inst())
+        by_index = report.add("SA103", "m", loop="l", inst=5)
+        assert by_inst.inst == 0 and by_inst.where == "add vr7 = vr4"
+        assert by_index.inst == 5 and by_index.where == ""

@@ -1,0 +1,205 @@
+"""IR lint (SA1xx) behaviour tests, including the validate_loop gaps.
+
+The mutation tests in ``test_analysis_mutations.py`` prove each code can
+fire; this file pins the *behaviour*: clean loops stay clean, the two
+historical ``validate_loop`` gaps (use-before-def and store arity) are
+closed, and the legacy wrapper still raises ``IRError`` with the
+messages its callers match on.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_loop
+from repro.errors import IRError
+from repro.ir import (
+    Instruction,
+    Loop,
+    MemRef,
+    opcode,
+    parse_loop,
+    validate_loop,
+)
+from repro.ir.registers import greg
+from repro.workloads import suite_by_name
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples" / "loops"
+
+COPY_ADD = """
+memref A affine stride=4 space=a
+memref B affine stride=4 space=b
+loop copy_add trips=200 source=pgo
+  ld4 r4 = [r5], 4 !A
+  add r7 = r4, r9
+  st4 [r6] = r7, 4 !B
+"""
+
+
+class TestCleanLoops:
+    def test_parsed_loop_is_clean(self):
+        assert not lint_loop(parse_loop(COPY_ADD)).findings
+
+    @pytest.mark.parametrize(
+        "path", sorted(EXAMPLES.glob("*.s")), ids=lambda p: p.stem
+    )
+    def test_shipped_examples_are_clean(self, path):
+        report = lint_loop(parse_loop(path.read_text()))
+        assert not report.errors, report.render_text()
+
+    @pytest.mark.parametrize("suite", ["micro", "cpu2000", "cpu2006"])
+    def test_workload_suites_are_clean(self, suite):
+        for bench in suite_by_name(suite):
+            for lw in bench.loops:
+                loop, _ = lw.build()
+                report = lint_loop(loop)
+                assert not report.findings, report.render_text()
+
+
+class TestUseBeforeDefGap:
+    """Satellite fix: validate_loop never caught reads of garbage."""
+
+    def carried_loop(self, live_in):
+        # vr4 is read at index 0 but only defined at index 1: iteration 0
+        # reads garbage unless vr4 carries an initial live-in value.
+        return Loop(
+            "carried",
+            body=[
+                Instruction(opcode("add"), defs=(greg(7),), uses=(greg(4),)),
+                Instruction(opcode("ld4"), defs=(greg(4),), uses=(greg(5),),
+                            memref=MemRef("A"), post_increment=4),
+            ],
+            live_in=live_in,
+            live_out={greg(7)},
+        )
+
+    def test_loop_carried_first_read_needs_live_in(self):
+        report = lint_loop(self.carried_loop(live_in={greg(5)}))
+        assert report.has("SA104")
+        assert "read before its definition" in report.errors[0].message
+
+    def test_live_in_initial_value_makes_it_legal(self):
+        report = lint_loop(self.carried_loop(live_in={greg(4), greg(5)}))
+        assert not report.has("SA104")
+
+    def test_validate_loop_now_rejects_it(self):
+        with pytest.raises(IRError, match="read before its definition"):
+            validate_loop(self.carried_loop(live_in={greg(5)}))
+
+    def test_never_defined_use_rejected(self):
+        loop = Loop(
+            "garbage",
+            body=[Instruction(opcode("add"), defs=(greg(7),),
+                              uses=(greg(9),))],
+            live_out={greg(7)},
+        )
+        with pytest.raises(IRError, match="never defined"):
+            validate_loop(loop)
+
+
+class TestStoreArityGap:
+    """Satellite fix: the old check counted mentions, not slots."""
+
+    def test_store_with_one_mention_rejected(self):
+        # old check: len(uses) < 2 was only reachable with 0 or 1 operands;
+        # a store writing its own address register ([r6] = r6) still has a
+        # single *mention* even though two slots are required
+        loop = Loop(
+            "selfstore",
+            body=[Instruction(opcode("st4"), uses=(greg(6),),
+                              memref=MemRef("B"))],
+            live_in={greg(6)},
+        )
+        report = lint_loop(loop)
+        assert report.has("SA105")
+        assert "one mention is not both" in report.errors[0].message
+
+    def test_store_defining_a_register_rejected(self):
+        loop = Loop(
+            "defstore",
+            body=[Instruction(opcode("st4"), defs=(greg(8),),
+                              uses=(greg(6), greg(7)), memref=MemRef("B"))],
+            live_in={greg(6), greg(7)},
+            live_out={greg(8)},
+        )
+        report = lint_loop(loop)
+        assert report.has("SA105")
+        assert "must not define" in report.errors[0].message
+
+    def test_load_with_two_results_rejected(self):
+        loop = Loop(
+            "twodefs",
+            body=[Instruction(opcode("ld4"), defs=(greg(4), greg(8)),
+                              uses=(greg(5),), memref=MemRef("A"))],
+            live_in={greg(5)},
+            live_out={greg(4), greg(8)},
+        )
+        assert lint_loop(loop).has("SA105")
+
+    def test_prefetch_with_result_rejected(self):
+        loop = Loop(
+            "pfdef",
+            body=[Instruction(opcode("lfetch"), defs=(greg(4),),
+                              uses=(greg(5),), memref=MemRef("A"))],
+            live_in={greg(5)},
+            live_out={greg(4)},
+        )
+        assert lint_loop(loop).has("SA105")
+
+
+class TestLegacyWrapper:
+    """validate_loop stays the parser/builder entry point: raises IRError
+    with the message fragments its existing callers and tests match on."""
+
+    @pytest.mark.parametrize(
+        "loop, fragment",
+        [
+            (Loop("empty"), "empty body"),
+            (
+                Loop("branchy",
+                     body=[Instruction(opcode("br.cond"))]),
+                "branch",
+            ),
+            (
+                Loop(
+                    "redef",
+                    body=[
+                        Instruction(opcode("add"), defs=(greg(7),),
+                                    uses=(greg(4),)),
+                        Instruction(opcode("mov"), defs=(greg(7),),
+                                    uses=(greg(4),)),
+                    ],
+                    live_in={greg(4)},
+                    live_out={greg(7)},
+                ),
+                "multiple definitions",
+            ),
+            (
+                Loop(
+                    "phantom",
+                    body=[Instruction(opcode("add"), defs=(greg(7),),
+                                      uses=(greg(4),))],
+                    live_in={greg(4)},
+                    live_out={greg(7), greg(20)},
+                ),
+                "live-out",
+            ),
+        ],
+        ids=["empty", "branch", "redef", "liveout"],
+    )
+    def test_error_messages_keep_their_fragments(self, loop, fragment):
+        with pytest.raises(IRError, match=fragment):
+            validate_loop(loop)
+
+    def test_warnings_do_not_raise(self):
+        loop = Loop(
+            "dead",
+            body=[Instruction(opcode("add"), defs=(greg(7),),
+                              uses=(greg(4),))],
+            live_in={greg(4)},
+        )
+        assert lint_loop(loop).has("SA107")
+        validate_loop(loop)  # warning severity: no exception
+
+    def test_clean_loop_passes(self):
+        validate_loop(parse_loop(COPY_ADD))

@@ -190,3 +190,82 @@ class TestFig5Command:
         out = capsys.readouterr().out
         assert "100.0%" in out
         assert out.strip().splitlines()[-1].startswith("4")
+
+
+BAD_LOOP_TEXT = """
+memref A affine stride=4 space=a
+loop wide trips=100
+  ld8 r4 = [r5], 8 !A
+  add r7 = r4, r9
+"""
+
+
+class TestLintCommand:
+    def test_lint_clean_file(self, loop_file, capsys):
+        assert main(["lint", loop_file]) == 0
+        out = capsys.readouterr().out
+        assert "linted 1 loop(s): OK" in out
+
+    def test_lint_reports_warnings_but_passes(self, tmp_path, capsys):
+        # ld8 against a size=4 memref: SA109 warning, exit code stays 0
+        path = tmp_path / "wide.s"
+        path.write_text(BAD_LOOP_TEXT)
+        assert main(["lint", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "SA109" in out and "warning" in out
+
+    def test_lint_suite_json(self, capsys):
+        import json
+
+        assert main(["lint", "--suite", "micro", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert set(payload["counts"]) == {"error", "warning", "note"}
+
+    def test_lint_nothing_to_lint(self, capsys):
+        assert main(["lint"]) == 2
+        assert "nothing to lint" in capsys.readouterr().err
+
+    def test_lint_missing_file(self, capsys):
+        assert main(["lint", "/nonexistent/loop.s"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestVerifyFlags:
+    def test_compile_verify_ok(self, loop_file, capsys):
+        assert main(["compile", loop_file, "--verify"]) == 0
+        assert "verification: OK" in capsys.readouterr().out
+
+    def test_compile_verify_boosted(self, loop_file, capsys):
+        assert main(["compile", loop_file, "--verify",
+                     "--policy", "all-loads-l3", "-n", "0"]) == 0
+        assert "verification: OK" in capsys.readouterr().out
+
+    def test_bench_verify_records_cells(self, tmp_path, capsys):
+        args = [
+            "bench", "--suite", "micro", "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--manifest", str(tmp_path / "a.json"), "--verify",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "verified 8/8 cells (0 error(s))" in out
+        assert "verification: 8/8 cells verified, 0 error(s)" in out
+
+    def test_bench_without_verify_prints_no_status(self, tmp_path, capsys):
+        assert main([
+            "bench", "--suite", "micro", "--benchmark", "micro.lowtrip",
+            "--no-cache", "--jobs", "1",
+            "--manifest", str(tmp_path / "m.json"),
+        ]) == 0
+        assert "verification:" not in capsys.readouterr().out
+
+    def test_experiment_verify(self, tmp_path, capsys):
+        assert main([
+            "experiment", "--suite", "micro", "--policy", "all-loads-l3",
+            "-n", "0", "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache"), "--verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Geomean" in out
+        assert "cells verified, 0 error(s)" in out

@@ -326,3 +326,62 @@ class TestCompare:
         assert cmp.matched_cells == 4
         assert cmp.overall_geomean == pytest.approx(0.0, abs=1e-12)
         assert not cmp.only_in_a and not cmp.only_in_b
+
+
+# --- verification plumbing ---------------------------------------------------
+
+class TestVerification:
+    def test_cached_cell_upgraded_in_place(self, tmp_path):
+        """A verify=True request must not accept an unverified payload:
+        the run is re-executed and the cache entry upgraded under the
+        same key (cycles stay bit-identical)."""
+        bench = micro_suite()[0]
+        config = baseline_config()
+        machine = ItaniumMachine()
+        cache = ArtifactCache(tmp_path)
+        cold, hit = cached_loop_run(bench, config, machine, 2008, cache)
+        assert not hit and cold.verification is None
+        upgraded, hit = cached_loop_run(
+            bench, config, machine, 2008, cache, verify=True
+        )
+        assert not hit  # unverified payload rejected, run re-executed
+        assert upgraded.verification is not None
+        assert upgraded.verification["ok"]
+        assert upgraded.loop_cycles == cold.loop_cycles
+        served, hit = cached_loop_run(
+            bench, config, machine, 2008, cache, verify=True
+        )
+        assert hit and served.verification == upgraded.verification
+        # the upgraded payload still serves plain (non-verifying) requests
+        _, hit = cached_loop_run(bench, config, machine, 2008, cache)
+        assert hit
+
+    def test_run_suite_records_verification(self, tmp_path):
+        suite = micro_suite()[:2]
+        run = run_suite(
+            suite, [hlo_cfg()], cache=tmp_path, seed=2008, verify=True
+        )
+        manifest = run.manifest
+        assert manifest.verified_cells == len(manifest.cells) == 2
+        assert manifest.verify_errors == 0
+        assert "verified 2/2 cells (0 error(s))" in manifest.summary()
+        for cell in manifest.cells:
+            assert cell.verified and cell.verify_errors == 0
+        # the legacy summary contract the CI grep relies on still holds
+        assert "cache 0/2 hits" in manifest.summary()
+
+    def test_unverified_cells_stay_unverified(self, tmp_path):
+        run = run_suite(micro_suite()[:1], [baseline_config()], cache=tmp_path)
+        manifest = run.manifest
+        assert manifest.verified_cells == 0
+        assert "verified" not in manifest.summary()
+
+    def test_manifests_without_verify_fields_still_load(self):
+        """Cells written before verification existed lack the new keys;
+        the dataclass defaults must absorb that."""
+        data = dataclasses.asdict(make_cell("b1", "base", 1.0))
+        for key in ("verified", "verify_errors", "verify_warnings"):
+            data.pop(key)
+        cell = CellRecord(**data)
+        assert not cell.verified
+        assert cell.verify_errors == 0 and cell.verify_warnings == 0
