@@ -1,10 +1,12 @@
 """Command-line interface.
 
-Seven subcommands::
+Eight subcommands::
 
     python -m repro compile loop.s --policy hlo        # kernel + stats
     python -m repro simulate loop.s --trips 2000 --invocations 3 \\
         --space a=64M --space b=64M                    # cycles + counters
+    python -m repro trace loop.s --trips 1000          # stall attribution,
+                                                       # Chrome trace JSON
     python -m repro lint loop.s --format json          # static analysis
     python -m repro lint --suite cpu2006               # validate a suite
     python -m repro experiment --suite cpu2006 --policy hlo -n 32 \\
@@ -16,6 +18,8 @@ Seven subcommands::
 ``compile``, ``experiment`` and ``bench`` additionally take ``--verify``,
 which runs the :mod:`repro.analysis` translation validator over every
 scheduled loop (see ``docs/analysis.md`` for the SAnnn code reference).
+``experiment`` and ``bench`` take ``--trace``, which records a per-cell
+stall-attribution summary in the run manifest (see ``docs/trace.md``).
 
 The loop file format is the textual dialect of
 :func:`repro.ir.parser.parse_loop` (see examples/loops/ and README).
@@ -241,6 +245,79 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.core.compiler import LoopCompiler
+    from repro.ir import parse_loop
+    from repro.machine import ItaniumMachine
+    from repro.sim.address import StreamSpec
+    from repro.trace import (
+        ascii_timeline,
+        render_attribution_text,
+        trace_simulation,
+        trace_summary,
+        write_chrome_trace,
+    )
+
+    machine = ItaniumMachine()
+    loop = parse_loop(open(args.loop_file).read())
+    layout = dict(args.space or [])
+    # unlike `simulate`, unspecified spaces get a usable default (64M
+    # streaming) so `repro trace loop.s` works out of the box
+    missing = {
+        i.memref.space for i in loop.body if i.memref is not None
+    } - set(layout)
+    for space in sorted(missing):
+        layout[space] = StreamSpec(size=64 << 20, reuse=False)
+    compiled = LoopCompiler(machine, make_config(args)).compile(loop)
+    print(compiled.stats.summary())
+    traced = trace_simulation(
+        compiled.result,
+        machine,
+        layout,
+        [args.trips] * args.invocations,
+        seed=args.seed,
+        ring=args.ring,
+    )
+    run = traced.run
+    print(f"cycles: {run.cycles:,.0f} "
+          f"({run.cycles_per_iteration:.2f}/iteration), "
+          f"{traced.total_events:,} events")
+    print()
+    print(render_attribution_text(traced.attribution))
+
+    chrome_path = Path(
+        args.chrome or Path(args.loop_file).stem + ".trace.json"
+    )
+    write_chrome_trace(chrome_path, traced.events, label=run.loop_name)
+    print(f"chrome trace: {chrome_path}")
+
+    if args.report:
+        report = {
+            "loop": run.loop_name,
+            "cycles": float(run.cycles),
+            "iterations": run.total_iterations,
+            "summary": trace_summary(traced.attribution, traced.check),
+            "attribution": traced.attribution.to_dict(),
+        }
+        Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"report: {args.report}")
+
+    if args.timeline:
+        print()
+        print(ascii_timeline(traced.events, width=args.timeline_width))
+
+    if traced.check.ok:
+        print("closed accounting: OK")
+        return 0
+    print("closed accounting: FAILED", file=sys.stderr)
+    for failure in traced.check.failures:
+        print(f"  {failure}", file=sys.stderr)
+    return 1
+
+
 def _load_suite(args: argparse.Namespace) -> list | None:
     from repro.workloads import suite_by_name
 
@@ -278,13 +355,31 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         cache=_open_cache(args),
         suite_name=args.suite,
         verify=args.verify,
+        trace=args.trace,
     )
     result = compare_configs(run, base.label, variant.label)
     print(format_gain_table(
         {variant.label: result},
         title=f"{args.suite} — {variant.label} vs {base.label}",
     ))
+    _report_manifest_trace(run.manifest, args)
     return _report_manifest_verification(run.manifest, args)
+
+
+def _report_manifest_trace(manifest, args: argparse.Namespace) -> None:
+    """Print the one-line trace roll-up for --trace runs."""
+    if not getattr(args, "trace", False):
+        return
+    from repro.trace import merge_trace_summaries
+
+    summaries = [c.trace for c in manifest.cells if c.trace is not None]
+    merged = merge_trace_summaries(summaries)
+    status = "OK" if merged["ok"] else "FAILED"
+    print(
+        f"trace: {len(summaries)}/{len(manifest.cells)} cells traced, "
+        f"accounting {status}, coverage {100.0 * merged['coverage']:.1f}%, "
+        f"mean k {merged['mean_clustering']:.2f}"
+    )
 
 
 def _report_manifest_verification(manifest, args: argparse.Namespace) -> int:
@@ -336,6 +431,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         suite_name=args.suite,
         manifest_path=manifest_path,
         verify=args.verify,
+        trace=args.trace,
     )
     if variants:
         results = {
@@ -348,6 +444,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print()
     print(run.manifest.summary())
     print(f"manifest: {manifest_path}")
+    _report_manifest_trace(run.manifest, args)
     return _report_manifest_verification(run.manifest, args)
 
 
@@ -417,6 +514,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_args(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="simulate a loop with cycle-level tracing and stall attribution",
+    )
+    p_trace.add_argument("loop_file")
+    p_trace.add_argument("--trips", type=int, default=1000,
+                         help="iterations per invocation")
+    p_trace.add_argument("--invocations", type=int, default=1)
+    p_trace.add_argument(
+        "--space", type=parse_space, action="append", metavar="NAME=SIZE",
+        help="working-set size per memory space (unspecified spaces "
+             "default to 64M streaming)",
+    )
+    p_trace.add_argument("--seed", type=int, default=11,
+                         help="address-stream seed (default: 11)")
+    p_trace.add_argument("--chrome", metavar="PATH",
+                         help="Chrome trace-event JSON output "
+                              "(default: <loop>.trace.json)")
+    p_trace.add_argument("--report", metavar="PATH",
+                         help="write the full attribution report as JSON")
+    p_trace.add_argument("--timeline", action="store_true",
+                         help="print the ASCII kernel timeline")
+    p_trace.add_argument("--timeline-width", type=int, default=100,
+                         metavar="COLS", help="timeline width in cycles")
+    p_trace.add_argument("--ring", type=int, default=None, metavar="N",
+                         help="keep only the last N events "
+                              "(flight-recorder mode)")
+    _add_config_args(p_trace)
+    p_trace.set_defaults(func=cmd_trace)
+
     p_exp = sub.add_parser("experiment", help="run a suite comparison")
     p_exp.add_argument("--suite", choices=["cpu2006", "cpu2000", "micro"],
                        default="cpu2006")
@@ -431,6 +558,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="ignore the artifact cache")
     p_exp.add_argument("--verify", action="store_true",
                        help="translation-validate every compiled loop")
+    p_exp.add_argument("--trace", action="store_true",
+                       help="record per-cell stall-attribution summaries "
+                            "in the manifest")
     _add_config_args(p_exp)
     p_exp.set_defaults(func=cmd_experiment)
 
@@ -472,6 +602,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--verify", action="store_true",
                          help="translation-validate every compiled loop "
                               "and record the status in the manifest")
+    p_bench.add_argument("--trace", action="store_true",
+                         help="record per-cell stall-attribution summaries "
+                              "in the manifest")
     p_bench.set_defaults(func=cmd_bench)
 
     p_cmp = sub.add_parser("compare", help="diff two run manifests")

@@ -21,7 +21,12 @@ from repro.core.experiment import (
     Experiment,
     percent_gain,
 )
-from repro.core.accounting import CycleAccount, accumulate_account
+from repro.core.accounting import (
+    CycleAccount,
+    accumulate_account,
+    cycle_identity_residual,
+    verify_cycle_identity,
+)
 from repro.core.diagram import pipeline_diagram, stage_table
 from repro.core.reporting import format_gain_table, format_account_table
 from repro.core.statistics import (
@@ -44,6 +49,8 @@ __all__ = [
     "percent_gain",
     "CycleAccount",
     "accumulate_account",
+    "cycle_identity_residual",
+    "verify_cycle_identity",
     "pipeline_diagram",
     "stage_table",
     "format_gain_table",

@@ -1,16 +1,25 @@
-"""Cycle accounting aggregation (Fig. 10).
+"""Cycle accounting aggregation (Fig. 10) and the accounting identity.
 
 Aggregates the simulator's per-benchmark counters across a whole suite
 into the six microarchitectural buckets Caliper reports, so the benches
 can print the baseline-vs-variant stacked columns of Fig. 10 and the
 OzQ-full percentage discussed in Sec. 4.5.
+
+The *cycle-accounting identity* lives here too: for any simulated run,
+the sum of the bubble buckets plus ``unstalled`` must equal the total
+simulated cycles — every cycle lands in exactly one bucket.  The
+simulator accrues the buckets and the wall clock through separate code
+paths, so :func:`verify_cycle_identity` is a real cross-check; it is the
+same invariant ``repro.trace``'s closed-accounting check enforces per
+traced run (see :func:`repro.trace.attribution.check_closed_accounting`).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
-from repro.core.experiment import BenchmarkResult
+from repro.core.results import BenchmarkResult
 from repro.sim.counters import PerfCounters
 
 BUCKETS = (
@@ -51,6 +60,28 @@ class CycleAccount:
         if theirs == 0:
             return 0.0
         return 100.0 * (mine / theirs - 1.0)
+
+
+def cycle_identity_residual(cycles: float, counters: PerfCounters) -> float:
+    """``cycles - sum(buckets)``: zero when the accounting is closed."""
+    return cycles - counters.total_cycles
+
+
+def verify_cycle_identity(
+    cycles: float,
+    counters: PerfCounters,
+    rel_tol: float = 1e-9,
+    abs_tol: float = 1e-6,
+) -> bool:
+    """True when the bucket sum reproduces the simulated cycle total.
+
+    The tolerances only absorb float summation-order differences — the
+    buckets and the wall clock accrue the same terms in different
+    groupings — not real accounting gaps.
+    """
+    return math.isclose(
+        cycles, counters.total_cycles, rel_tol=rel_tol, abs_tol=abs_tol
+    )
 
 
 def accumulate_account(

@@ -48,8 +48,12 @@ class ManifestComparison:
     only_in_b: list[tuple[str, str]]
 
     def geomean(self, config: str) -> float:
-        """Geomean gain (%) of run B over run A for one config."""
-        ratios = [delta.ratio for delta in self.deltas[config]]
+        """Geomean gain (%) of run B over run A for one config.
+
+        Computed over the intersection only; a config with no matched
+        cells contributes nothing and reads 0.0 rather than raising.
+        """
+        ratios = [delta.ratio for delta in self.deltas.get(config, [])]
         return (geometric_mean(ratios) - 1.0) * 100.0
 
     @property
@@ -108,7 +112,6 @@ def format_comparison(comparison: ManifestComparison) -> str:
     ]
     if not comparison.deltas:
         lines.append("(no matching cells)")
-        return "\n".join(lines)
     for config, deltas in comparison.deltas.items():
         width = max(len(d.benchmark) for d in deltas) + 2
         width = max(width, len("Geomean") + 2)
@@ -127,12 +130,21 @@ def format_comparison(comparison: ManifestComparison) -> str:
             f"{comparison.geomean(config):>+8.1f}%"
         )
         lines.append("")
+    # partially-overlapping or disjoint runs: name the unmatched cells so
+    # a suite/config mismatch is visible instead of silently dropped
     if comparison.only_in_a:
-        lines.append(f"only in A: {len(comparison.only_in_a)} cells")
+        lines.append(f"removed (only in A): {len(comparison.only_in_a)} cell(s)")
+        for benchmark, config in comparison.only_in_a:
+            lines.append(f"  - {benchmark} [{config}]")
     if comparison.only_in_b:
-        lines.append(f"only in B: {len(comparison.only_in_b)} cells")
-    lines.append(
-        f"overall geomean (B vs A): {comparison.overall_geomean:+.2f}% "
-        f"over {comparison.matched_cells} cells"
-    )
+        lines.append(f"added (only in B): {len(comparison.only_in_b)} cell(s)")
+        for benchmark, config in comparison.only_in_b:
+            lines.append(f"  + {benchmark} [{config}]")
+    if comparison.matched_cells:
+        lines.append(
+            f"overall geomean (B vs A): {comparison.overall_geomean:+.2f}% "
+            f"over {comparison.matched_cells} matched cells"
+        )
+    else:
+        lines.append("overall geomean (B vs A): n/a (no matched cells)")
     return "\n".join(lines)

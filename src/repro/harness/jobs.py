@@ -50,6 +50,8 @@ class BenchmarkJob:
     seed: int = 2008
     #: run the repro.analysis translation validator on every compiled loop
     verify: bool = False
+    #: trace every loop run and attach a stall-attribution summary
+    trace: bool = False
 
     @property
     def key(self) -> tuple[str, str]:
@@ -70,6 +72,10 @@ class LoopRunOutcome:
     #: aggregate verifier findings (see :func:`aggregate_verification`),
     #: present when the run was executed/cached with ``verify=True``
     verification: dict | None = None
+    #: merged per-loop trace summary (see
+    #: :func:`repro.trace.merge_trace_summaries`), present when the run
+    #: was executed/cached with ``trace=True``
+    trace: dict | None = None
 
 
 @dataclasses.dataclass
@@ -82,6 +88,8 @@ class JobOutcome:
     duration_s: float
     #: translation-validation summary of the variant run (None: not asked)
     verification: dict | None = None
+    #: stall-attribution summary of the variant run (None: not asked)
+    trace: dict | None = None
 
 
 def _stable(text: str) -> int:
@@ -130,6 +138,7 @@ def run_loops(
     seed: int,
     profile: BlockProfile | None | object = _AUTO_PROFILE,
     verify: bool = False,
+    trace: bool = False,
 ) -> LoopRunOutcome:
     """Compile and simulate every hot loop of ``bench`` under ``config``.
 
@@ -137,16 +146,27 @@ def run_loops(
     defaults to the training profile when the config uses PGO; pass an
     explicit profile to reuse a memoised one.  ``verify`` runs the
     :mod:`repro.analysis` translation validator on each compiled loop and
-    fills :attr:`LoopRunOutcome.verification` (simulation results are not
-    affected).
+    fills :attr:`LoopRunOutcome.verification`.  ``trace`` attaches a
+    streaming :class:`repro.trace.StallAttribution` sink to every loop
+    simulation, closed-accounts it against that loop's fresh counters and
+    cycle total, and fills :attr:`LoopRunOutcome.trace` with the merged
+    summary.  Neither switch affects simulation results.
     """
     if profile is _AUTO_PROFILE:
         profile = collect_profile(bench, seed) if config.pgo else None
+    if trace:
+        from repro.trace import (
+            StallAttribution,
+            check_closed_accounting,
+            merge_trace_summaries,
+            trace_summary,
+        )
     compiler = LoopCompiler(machine, config)
     total = 0.0
     counters = PerfCounters()
     outcomes: list[LoopOutcome] = []
     reports = []
+    summaries: list[dict] = []
     for pos, lw in enumerate(bench.loops):
         loop, layout = lw.build()
         compiled = compiler.compile(loop, profile)
@@ -157,6 +177,7 @@ def run_loops(
         rng = np.random.default_rng(seed + pos * 977 + _stable(bench.name))
         trips = lw.data.ref.sample(rng, lw.invocations)
         memory = MemorySystem(machine.timings)
+        sink = StallAttribution() if trace else None
         sim = simulate_loop(
             compiled.result,
             machine,
@@ -164,7 +185,13 @@ def run_loops(
             trips,
             memory=memory,
             seed=seed + pos,
+            sink=sink,
         )
+        if sink is not None:
+            # closed accounting holds per loop, against the loop's own
+            # fresh counters (merged counters group additions differently)
+            check = check_closed_accounting(sink, sim.counters, sim.cycles)
+            summaries.append(trace_summary(sink, check))
         total += sim.cycles * lw.weight
         counters.merge(
             sim.counters.scaled(lw.weight)
@@ -183,6 +210,7 @@ def run_loops(
         counters=counters,
         outcomes=outcomes,
         verification=aggregate_verification(reports) if verify else None,
+        trace=merge_trace_summaries(summaries) if trace else None,
     )
 
 
@@ -297,6 +325,7 @@ def loop_run_key(
     config: CompilerConfig,
     machine: ItaniumMachine,
     seed: int,
+    trace: bool = False,
 ) -> dict:
     """The key material addressing one loop run in the artifact cache."""
     material = {
@@ -306,6 +335,11 @@ def loop_run_key(
         "machine": describe_machine(machine),
         "seed": seed,
     }
+    # traced runs address separate entries (their payloads carry the trace
+    # summary); the key material is only extended when tracing, so every
+    # pre-trace cache hash is preserved
+    if trace:
+        material["trace"] = True
     # RegClass enum keys serialise via their names above; RegisterFile
     # asdict contains an enum — flatten it to its value.
     for rf in material["machine"]["registers"].values():
@@ -341,6 +375,7 @@ def cached_loop_run(
     seed: int,
     cache=None,
     verify: bool = False,
+    trace: bool = False,
 ) -> tuple[LoopRunOutcome, bool]:
     """A loop run served from ``cache`` when possible; ``(run, was_hit)``.
 
@@ -348,12 +383,17 @@ def cached_loop_run(
     by a non-verifying run does not satisfy a ``verify=True`` request: the
     run is re-executed with verification and the payload upgraded in place
     (the cache key is unchanged — cycles and counters are bit-identical).
+    Traced runs address *separate* cache entries (``trace`` is part of the
+    key), so a cache hit always carries the trace summary and returns it
+    byte-identical to a live run.
     """
     if cache is None:
-        return run_loops(bench, config, machine, seed, verify=verify), False
+        return run_loops(
+            bench, config, machine, seed, verify=verify, trace=trace
+        ), False
     from repro.harness.cache import hash_key
 
-    key = hash_key(loop_run_key(bench, config, machine, seed))
+    key = hash_key(loop_run_key(bench, config, machine, seed, trace=trace))
     payload = cache.get(key)
     if payload is not None and not (verify and payload.get("verification") is None):
         return (
@@ -361,16 +401,18 @@ def cached_loop_run(
                 loop_cycles=payload["loop_cycles"],
                 counters=counters_from_dict(payload["counters"]),
                 verification=payload.get("verification"),
+                trace=payload.get("trace"),
             ),
             True,
         )
-    run = run_loops(bench, config, machine, seed, verify=verify)
+    run = run_loops(bench, config, machine, seed, verify=verify, trace=trace)
     cache.put(key, {
         "benchmark": bench.name,
         "config": config.label,
         "loop_cycles": run.loop_cycles,
         "counters": counters_to_dict(run.counters),
         "verification": run.verification,
+        "trace": run.trace,
     })
     return run, False
 
@@ -385,7 +427,8 @@ def run_job(job: BenchmarkJob, cache=None) -> JobOutcome:
     start = time.perf_counter()
     bench = job.benchmark
     variant_run, variant_hit = cached_loop_run(
-        bench, job.config, job.machine, job.seed, cache, verify=job.verify
+        bench, job.config, job.machine, job.seed, cache,
+        verify=job.verify, trace=job.trace,
     )
     anchor_cfg = baseline_config()
     if job.config.label == anchor_cfg.label:
@@ -403,4 +446,5 @@ def run_job(job: BenchmarkJob, cache=None) -> JobOutcome:
         cache_hit=variant_hit and anchor_hit,
         duration_s=time.perf_counter() - start,
         verification=variant_run.verification,
+        trace=variant_run.trace,
     )

@@ -62,6 +62,9 @@ class CellRecord:
     verified: bool = False
     verify_errors: int = 0
     verify_warnings: int = 0
+    #: compact repro.trace summary (see ``trace_summary``) when the cell
+    #: ran with ``--trace``; None keeps pre-trace manifests loading
+    trace: dict | None = None
 
 
 @dataclasses.dataclass
@@ -167,6 +170,20 @@ class RunManifest:
     def verify_errors(self) -> int:
         return sum(cell.verify_errors for cell in self.cells)
 
+    # --- trace accounting -----------------------------------------------------
+    @property
+    def traced_cells(self) -> int:
+        return sum(1 for cell in self.cells if cell.trace is not None)
+
+    @property
+    def trace_failures(self) -> int:
+        """Cells whose closed-accounting check failed."""
+        return sum(
+            1
+            for cell in self.cells
+            if cell.trace is not None and not cell.trace.get("ok", True)
+        )
+
     def summary(self) -> str:
         text = (
             f"run {self.run_id}: {len(self.cells)} cells, "
@@ -178,6 +195,11 @@ class RunManifest:
             text += (
                 f"verified {self.verified_cells}/{len(self.cells)} cells "
                 f"({self.verify_errors} error(s)), "
+            )
+        if self.traced_cells:
+            text += (
+                f"traced {self.traced_cells}/{len(self.cells)} cells "
+                f"({self.trace_failures} accounting failure(s)), "
             )
         text += f"wall {self.wall_time_s:.1f}s"
         return text

@@ -125,6 +125,7 @@ def run_suite(
     suite_name: str = "",
     manifest_path: str | Path | None = None,
     verify: bool = False,
+    trace: bool = False,
 ) -> SuiteRun:
     """Run every benchmark under every config, in parallel, with caching.
 
@@ -134,6 +135,9 @@ def run_suite(
     default is derived from :func:`default_runs_dir` by the CLI layer.
     ``verify`` runs the :mod:`repro.analysis` translation validator on
     every compiled loop and records the status per manifest cell.
+    ``trace`` attaches the :mod:`repro.trace` stall-attribution analyzer
+    to every loop simulation and records the closed-accounted summary per
+    manifest cell (simulated cycles are unaffected either way).
     """
     machine = machine or ItaniumMachine()
     unique_configs: list[CompilerConfig] = []
@@ -145,7 +149,7 @@ def run_suite(
 
     jobs = [
         BenchmarkJob(benchmark=bench, config=config, machine=machine,
-                     seed=seed, verify=verify)
+                     seed=seed, verify=verify, trace=trace)
         for config in unique_configs
         for bench in benchmarks
     ]
@@ -173,6 +177,7 @@ def run_suite(
             verified=outcome.verification is not None,
             verify_errors=verification.get("errors", 0),
             verify_warnings=verification.get("warnings", 0),
+            trace=outcome.trace,
         ))
 
     manifest = RunManifest.new(

@@ -146,11 +146,15 @@ def run_iterations(
     ozq_capacity: int,
     counters: PerfCounters,
     start_cycle: float = 0.0,
+    sink=None,
 ) -> float:
     """Execute ``n`` source iterations; returns the finish cycle.
 
     ``stream_base`` indexes the address streams for this invocation's
-    first iteration (streams are shared across invocations).
+    first iteration (streams are shared across invocations).  ``sink``
+    receives :mod:`repro.trace.events` as execution proceeds; its
+    interest flags are hoisted into locals here, so a ``None`` sink (or
+    one that wants nothing) costs a few branch tests per op.
     """
     if n <= 0:
         return start_cycle
@@ -158,8 +162,21 @@ def run_iterations(
     ops = setup.ops
     kernel_iters = n + setup.stage_count - 1
 
+    emit_issues = sink is not None and sink.wants_issues
+    emit_uses = sink is not None and sink.wants_uses
+    emit_stalls = sink is not None and sink.wants_stalls
+    emit_memory = sink is not None and sink.wants_memory
+    if emit_issues or emit_uses or emit_stalls or emit_memory:
+        from repro.trace import events as ev
+    else:
+        ev = None
+
     completions = [np.full(n, -np.inf) for _ in range(setup.num_loads)]
-    ozq: list[float] = []  # completion-time heap of in-flight requests
+    # completion-time heap of in-flight requests; the monotonically
+    # increasing uid breaks completion-time ties, so pop order (and with
+    # it every trace and counter) is bit-identical across runs/platforms
+    ozq: list[tuple[float, int]] = []
+    ozq_seq = 0
     stall = 0.0
     # L2D_OZQ_FULL tracking: integral of wall-clock time the queue sits at
     # capacity (the hardware counter's semantics, Sec. 4.5)
@@ -167,15 +184,19 @@ def run_iterations(
 
     def drain(now: float) -> None:
         nonlocal became_full_at
-        while ozq and ozq[0] <= now:
-            t = heapq.heappop(ozq)
+        while ozq and ozq[0][0] <= now:
+            t, _uid = heapq.heappop(ozq)
             if became_full_at is not None and len(ozq) == ozq_capacity - 1:
-                counters.ozq_full_cycles += max(0.0, t - became_full_at)
+                full = max(0.0, t - became_full_at)
+                counters.ozq_full_cycles += full
+                if emit_stalls:
+                    sink.emit(ev.OzqFull(cycle=became_full_at, duration=full))
                 became_full_at = None
 
     def push(completion: float, now: float) -> None:
-        nonlocal became_full_at
-        heapq.heappush(ozq, completion)
+        nonlocal became_full_at, ozq_seq
+        heapq.heappush(ozq, (completion, ozq_seq))
+        ozq_seq += 1
         if len(ozq) >= ozq_capacity and became_full_at is None:
             became_full_at = now
 
@@ -197,10 +218,29 @@ def run_iterations(
                 ready = completions[slot][j]
                 if ready > now:
                     wait = ready - now
+                    if emit_stalls:
+                        sink.emit(ev.UseStall(
+                            cycle=now, consumer=op.tag, slot=slot,
+                            source_iter=j, wait=wait,
+                            inflight=sum(1 for c in ozq if c[0] > now),
+                        ))
                     stall += wait
                     now += wait
                     counters.be_exe_bubble += wait
                     counters.attribute_stall(op.tag, wait)
+                elif emit_uses:
+                    sink.emit(ev.UseReady(
+                        cycle=now, consumer=op.tag, slot=slot, source_iter=j,
+                    ))
+
+            if emit_issues:
+                sink.emit(ev.OpIssue(
+                    cycle=now, tag=op.tag, row=op.row, stage=op.stage,
+                    kernel_iter=k, source_iter=i,
+                    op_kind=("prefetch" if op.is_prefetch
+                             else "load" if op.is_load
+                             else "store" if op.is_store else "alu"),
+                ))
 
             if op.ref_uid < 0:
                 continue  # pure register op: issue costs are in the schedule
@@ -212,23 +252,41 @@ def run_iterations(
             if op.is_prefetch:
                 pos = stream_base + i + op.prefetch_distance
                 if pos >= len(stream):
+                    if emit_memory:
+                        sink.emit(ev.PrefetchDrop(
+                            cycle=now, tag=op.tag, reason="stream-end",
+                        ))
                     continue
                 if len(ozq) >= ozq_capacity:
                     # hardware drops hints when the queue is full
                     counters.prefetches_dropped_ozq += 1
+                    if emit_memory:
+                        sink.emit(ev.PrefetchDrop(
+                            cycle=now, tag=op.tag, reason="ozq-full",
+                        ))
                     continue
+                addr = int(stream[pos])
                 res = memory.prefetch(
-                    int(stream[pos]), now, op.prefetch_l2_only, op.is_fp
+                    addr, now, op.prefetch_l2_only, op.is_fp
                 )
                 counters.prefetches_issued += 1
+                if emit_memory:
+                    sink.emit(ev.PrefetchIssue(
+                        cycle=now, tag=op.tag,
+                        ref=op.inst.memref.name if op.inst.memref else "",
+                        addr=addr, level=res.level, latency=res.latency,
+                        occupies_ozq=res.occupies_ozq,
+                    ))
                 if res.occupies_ozq:
                     push(now + res.latency, now)
                 continue
 
             # demand access: stall while the OzQ is full
             if len(ozq) >= ozq_capacity:
-                wait = ozq[0] - now
+                wait = ozq[0][0] - now
                 if wait > 0:
+                    if emit_stalls:
+                        sink.emit(ev.OzqStall(cycle=now, tag=op.tag, wait=wait))
                     stall += wait
                     now += wait
                     counters.be_l1d_fpu_bubble += wait
@@ -239,8 +297,23 @@ def run_iterations(
                 res = memory.load(addr, now, op.is_fp)
                 completions[op.load_slot][i] = now + res.latency
                 counters.record_load_level(res.level)
+                if emit_memory:
+                    sink.emit(ev.LoadIssue(
+                        cycle=now, tag=op.tag, slot=op.load_slot,
+                        source_iter=i,
+                        ref=op.inst.memref.name if op.inst.memref else "",
+                        addr=addr, level=res.level, latency=res.latency,
+                        occupies_ozq=res.occupies_ozq,
+                    ))
             else:
                 res = memory.store(addr, now, op.is_fp)
+                if emit_memory:
+                    sink.emit(ev.StoreIssue(
+                        cycle=now, tag=op.tag,
+                        ref=op.inst.memref.name if op.inst.memref else "",
+                        addr=addr, level=res.level, latency=res.latency,
+                        occupies_ozq=res.occupies_ozq,
+                    ))
             if res.occupies_ozq:
                 push(now + res.latency, now)
 

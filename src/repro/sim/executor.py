@@ -61,8 +61,16 @@ def simulate_loop(
     seed: int = 11,
     address_map: AddressMap | None = None,
     counters: PerfCounters | None = None,
+    sink=None,
 ) -> LoopRunResult:
-    """Run a compiled loop for the given per-invocation trip counts."""
+    """Run a compiled loop for the given per-invocation trip counts.
+
+    ``sink`` (a :class:`repro.trace.events.TraceSink`) receives the
+    structured event stream; it is attached to the memory system only
+    after the cache pre-warm so one-time warm-up fills stay out of
+    traces.  ``sink=None`` keeps the run event-free and bit-identical
+    to an untraced one.
+    """
     counters = counters if counters is not None else PerfCounters()
     memory = memory or MemorySystem(machine.timings)
     setup = prepare_execution(result, machine)
@@ -91,6 +99,8 @@ def simulate_loop(
     }
 
     _prewarm_resident_regions(result, layout, streams, memory)
+    if sink is not None:
+        memory.sink = sink
 
     spills = result.static.spills if result.static is not None else 0
     stacked = result.static.stacked_frame if result.static is not None else 8
@@ -120,9 +130,13 @@ def simulate_loop(
             machine.ozq_capacity,
             counters,
             cycle,
+            sink,
         )
         running_base += n
         counters.invocations += 1
+
+    if sink is not None:
+        memory.sink = None
 
     return LoopRunResult(
         loop_name=result.loop.name,
@@ -177,15 +191,17 @@ def _run_invocation(
     ozq_capacity: int,
     counters: PerfCounters,
     cycle: float,
+    sink=None,
 ) -> float:
     """One invocation; restarting spaces read from stream position 0."""
     if not restart_uids:
         return run_iterations(
-            setup, streams, running_base, n, memory, ozq_capacity, counters, cycle
+            setup, streams, running_base, n, memory, ozq_capacity, counters,
+            cycle, sink,
         )
     if len(restart_uids) == len(streams.by_ref):
         return run_iterations(
-            setup, streams, 0, n, memory, ozq_capacity, counters, cycle
+            setup, streams, 0, n, memory, ozq_capacity, counters, cycle, sink
         )
     # mixed: give restarting refs a view shifted to the invocation start
     mixed = LoopStreams(lookahead=streams.lookahead)
@@ -195,5 +211,5 @@ def _run_invocation(
         else:
             mixed.by_ref[uid] = arr[running_base:]
     return run_iterations(
-        setup, mixed, 0, n, memory, ozq_capacity, counters, cycle
+        setup, mixed, 0, n, memory, ozq_capacity, counters, cycle, sink
     )

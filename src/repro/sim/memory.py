@@ -65,6 +65,11 @@ class MemorySystem:
         self.bank_conflicts = bank_conflicts
         self._bank_busy_until = [float("-inf")] * self.L2_BANKS
         self.bank_conflict_count = 0
+        #: optional :class:`repro.trace.events.TraceSink`; when set and
+        #: interested in memory events, every access emits a ``CacheFill``
+        #: with the satisfying level (attached by the executor after the
+        #: pre-warm phase so warm-up fills stay out of traces)
+        self.sink = None
 
     def _l2_bank_delay(self, addr: int, now: float) -> float:
         """Extra delay (and occupancy update) for the L2 bank of ``addr``."""
@@ -78,9 +83,25 @@ class MemorySystem:
         self._bank_busy_until[bank] = now + delay + self.L2_BANK_OCCUPANCY
         return delay
 
+    def _emit_fill(self, access: str, addr: int, now: float,
+                   res: AccessResult) -> AccessResult:
+        """Report the satisfying level to an attached trace sink."""
+        sink = self.sink
+        if sink is not None and sink.wants_memory:
+            from repro.trace.events import CacheFill
+
+            sink.emit(CacheFill(
+                cycle=now, access=access, addr=addr,
+                level=res.level, latency=res.latency,
+            ))
+        return res
+
     # --- demand accesses --------------------------------------------------
     def load(self, addr: int, now: float, is_fp: bool = False) -> AccessResult:
         """A demand load: walk the hierarchy, fill lines on the way out."""
+        return self._emit_fill("load", addr, now, self._load(addr, now, is_fp))
+
+    def _load(self, addr: int, now: float, is_fp: bool) -> AccessResult:
         t = self.timings
         penalty = self.tlb.access(addr)
         fp_extra = t.fp_extra if is_fp else 0
@@ -116,6 +137,10 @@ class MemorySystem:
         Stores do not stall the pipeline directly, but misses occupy OzQ
         entries while the line is fetched.
         """
+        return self._emit_fill("store", addr, now,
+                               self._store(addr, now, is_fp))
+
+    def _store(self, addr: int, now: float, is_fp: bool) -> AccessResult:
         t = self.timings
         penalty = self.tlb.access(addr)
         pending = self.l2.lookup(addr, now)
@@ -144,6 +169,13 @@ class MemorySystem:
         the translation) — that walk traffic is the TLB *pressure* the
         prefetcher's distance reductions contain (Sec. 3.2 rule 2a).
         """
+        return self._emit_fill(
+            "prefetch", addr, now, self._prefetch(addr, now, l2_only, is_fp)
+        )
+
+    def _prefetch(
+        self, addr: int, now: float, l2_only: bool, is_fp: bool
+    ) -> AccessResult:
         penalty = self.tlb.access(addr)
         t = self.timings
         pending = None if is_fp else self.l1d.lookup(addr, now)

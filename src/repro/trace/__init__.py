@@ -1,0 +1,84 @@
+"""Cycle-level runtime observability for the simulator.
+
+``repro.trace`` turns the simulator's aggregate ``PerfCounters`` into a
+measurable story: a structured event stream
+(:mod:`repro.trace.events`), a stall-attribution analyzer with closed
+cycle accounting (:mod:`repro.trace.attribution`), and exporters —
+Chrome trace-event JSON (:mod:`repro.trace.chrome`), an ASCII kernel
+timeline (:mod:`repro.trace.timeline`) and compact JSON summaries
+(:mod:`repro.trace.runner`).  The CLI front-end is
+``python -m repro trace`` plus ``--trace`` on ``experiment``/``bench``;
+docs/trace.md has the event schema and examples.
+"""
+
+from repro.trace.events import (
+    CacheFill,
+    CaptureSink,
+    CountingSink,
+    LoadIssue,
+    NullSink,
+    OpIssue,
+    OzqFull,
+    OzqStall,
+    PrefetchDrop,
+    PrefetchIssue,
+    RingBufferSink,
+    StoreIssue,
+    TeeSink,
+    TraceEvent,
+    TraceSink,
+    UseReady,
+    UseStall,
+)
+from repro.trace.attribution import (
+    AccountingCheck,
+    LoadSiteReport,
+    StallAttribution,
+    check_closed_accounting,
+)
+from repro.trace.chrome import (
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.trace.timeline import ascii_timeline
+from repro.trace.runner import (
+    TraceResult,
+    merge_trace_summaries,
+    render_attribution_text,
+    trace_simulation,
+    trace_summary,
+)
+
+__all__ = [
+    "TraceEvent",
+    "TraceSink",
+    "OpIssue",
+    "UseStall",
+    "UseReady",
+    "OzqStall",
+    "OzqFull",
+    "LoadIssue",
+    "StoreIssue",
+    "PrefetchIssue",
+    "PrefetchDrop",
+    "CacheFill",
+    "NullSink",
+    "CountingSink",
+    "RingBufferSink",
+    "CaptureSink",
+    "TeeSink",
+    "LoadSiteReport",
+    "StallAttribution",
+    "AccountingCheck",
+    "check_closed_accounting",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "ascii_timeline",
+    "TraceResult",
+    "trace_simulation",
+    "trace_summary",
+    "merge_trace_summaries",
+    "render_attribution_text",
+]

@@ -1,0 +1,298 @@
+"""Stall attribution: roll the event stream into per-load reports.
+
+The analyzer is itself a :class:`~repro.trace.events.TraceSink`, so it
+can run streaming (no event storage — the harness ``--trace`` mode) or
+be fed a captured stream via :meth:`StallAttribution.replay`.  It answers
+the questions the aggregate ``PerfCounters`` buckets cannot:
+
+* **which load site stalled which use, for how long** — stall-on-use
+  cycles attributed to the *culprit* load instance's site (the counters
+  only know the stalling consumer);
+* **measured latency coverage per load** (Sec. 3.1) — for each load
+  instance, the fraction of its runtime latency the schedule actually
+  hid: 1.0 when the first use found the value ready, else
+  ``(latency - residual wait) / latency``;
+* **the clustering histogram** (Sec. 2.1) — how many misses were in
+  flight at each stall, i.e. the paper's k: one stall shadows the
+  remaining latency of the k-1 others.
+
+Closed accounting (:func:`check_closed_accounting`) guarantees the roll-
+up is exhaustive: attributed stall-on-use cycles sum *exactly* to
+``be_exe_bubble``, OzQ-full waits to ``be_l1d_fpu_bubble``, full-queue
+intervals to ``ozq_full_cycles``, and (when the run total is given) the
+bucket sum reproduces the simulated cycles — the same identity
+:func:`repro.core.accounting.cycle_identity_residual` checks suite-wide.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.accounting import verify_cycle_identity
+from repro.sim.counters import PerfCounters
+from repro.trace.events import TraceEvent
+
+#: tolerances for the closed-accounting equalities; the analyzer adds the
+#: same floats in the same order as the counters, so in practice the
+#: sums are bit-identical and these only absorb cross-platform libm noise
+REL_TOL = 1e-9
+ABS_TOL = 1e-6
+
+
+@dataclass
+class LoadSiteReport:
+    """Aggregated behaviour of one static load site across a run."""
+
+    tag: str
+    ref: str
+    #: demand-load instances issued / with an observed register use
+    instances: int = 0
+    used: int = 0
+    #: uses that found the value not ready (first-use stalls only)
+    stalled_uses: int = 0
+    #: stall-on-use cycles attributed to this site as the culprit
+    stall_cycles: float = 0.0
+    latency_total: float = 0.0
+    #: numerator/denominator of the measured-coverage mean, over used
+    #: instances: sum(min(latency, latency - residual_wait)) / sum(latency)
+    covered_latency: float = 0.0
+    coverage_latency: float = 0.0
+    #: satisfying-level histogram {1: L1D, 2: L2, 3: L3, 4: memory}
+    levels: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def coverage(self) -> float:
+        """Measured latency coverage in [0, 1] (1.0 = fully hidden)."""
+        if self.coverage_latency <= 0.0:
+            return 1.0
+        return self.covered_latency / self.coverage_latency
+
+    @property
+    def mean_latency(self) -> float:
+        return self.latency_total / self.instances if self.instances else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "tag": self.tag,
+            "ref": self.ref,
+            "instances": self.instances,
+            "used": self.used,
+            "stalled_uses": self.stalled_uses,
+            "stall_cycles": float(self.stall_cycles),
+            "mean_latency": float(self.mean_latency),
+            "coverage": float(self.coverage),
+            "levels": {str(level): n for level, n in sorted(self.levels.items())},
+        }
+
+
+class StallAttribution:
+    """A streaming sink that folds events into per-load aggregates."""
+
+    wants_issues = False
+    wants_uses = True
+    wants_stalls = True
+    wants_memory = True
+
+    def __init__(self) -> None:
+        #: load tag -> per-site aggregate
+        self.sites: dict[str, LoadSiteReport] = {}
+        #: (slot, source_iter) -> [tag, latency, first_use_seen]
+        self._live: dict[tuple[int, int], list] = {}
+        self.events = 0
+        self.stall_on_use_total = 0.0
+        self.stall_by_consumer: dict[str, float] = {}
+        #: stall cycles whose culprit instance had no prior LoadIssue
+        #: event (defensive: should stay 0.0 for whole-run traces)
+        self.unattributed_stall = 0.0
+        self.ozq_stall_total = 0.0
+        self.ozq_stall_by_op: dict[str, float] = {}
+        self.ozq_full_total = 0.0
+        #: clustering histogram: k (misses in flight at a stall) -> stalls
+        self.clustering: dict[int, int] = {}
+        #: and the stall cycles spent at each k
+        self.clustering_cycles: dict[int, float] = {}
+        self.prefetches_issued = 0
+        self.prefetches_dropped = 0
+
+    # --- sink protocol --------------------------------------------------------
+    def emit(self, event: TraceEvent) -> None:
+        self.events += 1
+        kind = event.kind
+        if kind == "load":
+            site = self.sites.get(event.tag)
+            if site is None:
+                site = self.sites[event.tag] = LoadSiteReport(
+                    tag=event.tag, ref=event.ref
+                )
+            site.instances += 1
+            site.latency_total += event.latency
+            site.levels[event.level] = site.levels.get(event.level, 0) + 1
+            # a new instance of (slot, iter) supersedes any previous one
+            # (the same source iteration recurs across invocations)
+            self._live[(event.slot, event.source_iter)] = [
+                event.tag, event.latency, False,
+            ]
+        elif kind == "stall":
+            wait = event.wait
+            self.stall_on_use_total += wait
+            self.stall_by_consumer[event.consumer] = (
+                self.stall_by_consumer.get(event.consumer, 0.0) + wait
+            )
+            k = event.inflight
+            self.clustering[k] = self.clustering.get(k, 0) + 1
+            self.clustering_cycles[k] = (
+                self.clustering_cycles.get(k, 0.0) + wait
+            )
+            live = self._live.get((event.slot, event.source_iter))
+            if live is None:
+                self.unattributed_stall += wait
+                return
+            tag, latency, seen = live
+            site = self.sites[tag]
+            site.stall_cycles += wait
+            if not seen:
+                live[2] = True
+                site.used += 1
+                site.stalled_uses += 1
+                site.covered_latency += max(0.0, min(latency, latency - wait))
+                site.coverage_latency += latency
+        elif kind == "use":
+            live = self._live.get((event.slot, event.source_iter))
+            if live is None or live[2]:
+                return
+            live[2] = True
+            site = self.sites[live[0]]
+            site.used += 1
+            site.covered_latency += live[1]
+            site.coverage_latency += live[1]
+        elif kind == "ozq-stall":
+            self.ozq_stall_total += event.wait
+            self.ozq_stall_by_op[event.tag] = (
+                self.ozq_stall_by_op.get(event.tag, 0.0) + event.wait
+            )
+        elif kind == "ozq-full":
+            self.ozq_full_total += event.duration
+        elif kind == "prefetch":
+            self.prefetches_issued += 1
+        elif kind == "prefetch-drop":
+            self.prefetches_dropped += 1
+        # "issue", "store" and "fill" events carry no attribution weight
+
+    def replay(self, events: list[TraceEvent]) -> "StallAttribution":
+        """Feed a captured event list through the analyzer (in order)."""
+        for event in events:
+            self.emit(event)
+        return self
+
+    # --- derived metrics ------------------------------------------------------
+    @property
+    def coverage(self) -> float:
+        """Run-wide measured latency coverage, weighted by latency."""
+        num = sum(s.covered_latency for s in self.sites.values())
+        den = sum(s.coverage_latency for s in self.sites.values())
+        return num / den if den > 0.0 else 1.0
+
+    @property
+    def mean_clustering(self) -> float:
+        """Mean k over stalls (cycle-weighted): how many misses each
+        stall's shadow covered on average."""
+        cycles = sum(self.clustering_cycles.values())
+        if cycles <= 0.0:
+            return 0.0
+        return (
+            sum(k * c for k, c in self.clustering_cycles.items()) / cycles
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "events": self.events,
+            "stall_on_use": float(self.stall_on_use_total),
+            "unattributed_stall": float(self.unattributed_stall),
+            "ozq_stall": float(self.ozq_stall_total),
+            "ozq_full": float(self.ozq_full_total),
+            "coverage": float(self.coverage),
+            "mean_clustering": float(self.mean_clustering),
+            "clustering": {
+                str(k): n for k, n in sorted(self.clustering.items())
+            },
+            "clustering_cycles": {
+                str(k): float(c)
+                for k, c in sorted(self.clustering_cycles.items())
+            },
+            "prefetches_issued": self.prefetches_issued,
+            "prefetches_dropped": self.prefetches_dropped,
+            "stall_by_consumer": {
+                tag: float(c)
+                for tag, c in sorted(self.stall_by_consumer.items())
+            },
+            "sites": [
+                self.sites[tag].to_dict() for tag in sorted(self.sites)
+            ],
+        }
+
+
+@dataclass
+class AccountingCheck:
+    """Outcome of the closed-accounting invariant."""
+
+    ok: bool
+    failures: list[str]
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=REL_TOL, abs_tol=ABS_TOL)
+
+
+def check_closed_accounting(
+    attribution: StallAttribution,
+    counters: PerfCounters,
+    cycles: float | None = None,
+) -> AccountingCheck:
+    """Verify the analyzer's roll-up accounts for every counted cycle.
+
+    ``counters`` must come from the *traced* run only (a fresh
+    :class:`PerfCounters`, not one merged across untraced loops).  When
+    ``cycles`` is given, the suite-wide cycle identity (bubble buckets +
+    unstalled == total simulated cycles) is checked too.
+    """
+    failures: list[str] = []
+    if not _close(attribution.stall_on_use_total, counters.be_exe_bubble):
+        failures.append(
+            f"stall-on-use cycles {attribution.stall_on_use_total!r} != "
+            f"be_exe_bubble {counters.be_exe_bubble!r}"
+        )
+    if not _close(attribution.ozq_stall_total, counters.be_l1d_fpu_bubble):
+        failures.append(
+            f"OzQ-full stall cycles {attribution.ozq_stall_total!r} != "
+            f"be_l1d_fpu_bubble {counters.be_l1d_fpu_bubble!r}"
+        )
+    if not _close(attribution.ozq_full_total, counters.ozq_full_cycles):
+        failures.append(
+            f"OzQ-full occupancy {attribution.ozq_full_total!r} != "
+            f"ozq_full_cycles {counters.ozq_full_cycles!r}"
+        )
+    if attribution.unattributed_stall != 0.0:
+        failures.append(
+            f"{attribution.unattributed_stall!r} stall cycles have no "
+            "culprit load instance"
+        )
+    # per-site stall cycles must sum back to the stall-on-use total
+    by_site = sum(s.stall_cycles for s in attribution.sites.values())
+    if not _close(
+        by_site + attribution.unattributed_stall,
+        attribution.stall_on_use_total,
+    ):
+        failures.append(
+            f"per-site stall cycles {by_site!r} do not sum to the "
+            f"stall-on-use total {attribution.stall_on_use_total!r}"
+        )
+    if cycles is not None and not verify_cycle_identity(cycles, counters):
+        failures.append(
+            f"cycle identity violated: simulated {cycles!r} != "
+            f"bucket sum {counters.total_cycles!r}"
+        )
+    return AccountingCheck(ok=not failures, failures=failures)

@@ -1,0 +1,211 @@
+"""Chrome trace-event JSON export (``chrome://tracing`` / Perfetto).
+
+One process (pid 0) with one track per issue port (the op's row within
+the II — the in-order core issues the same rows every kernel iteration),
+one track per occupied OzQ slot, and a stall track.  Timestamps are
+simulation cycles written into the ``ts``/``dur`` microsecond fields, so
+1 us in the viewer = 1 cycle.
+
+The exported object is plain JSON (the "JSON Object Format" of the trace
+event spec: a ``traceEvents`` array plus metadata), and
+:func:`validate_chrome_trace` performs the structural schema check CI
+runs against every exported trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from pathlib import Path
+
+from repro.trace.events import TraceEvent
+
+PID = 0
+#: tid layout: ports first, then the stall track, then OzQ slots
+STALL_TID = 900
+OZQ_TID_BASE = 1000
+
+
+def _meta(name: str, tid: int | None = None, sort: int | None = None) -> list[dict]:
+    """Process/thread metadata events naming the tracks."""
+    events = []
+    if tid is None:
+        events.append({
+            "name": "process_name", "ph": "M", "pid": PID,
+            "args": {"name": name},
+        })
+    else:
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": PID, "tid": tid,
+            "args": {"name": name},
+        })
+        if sort is not None:
+            events.append({
+                "name": "thread_sort_index", "ph": "M", "pid": PID,
+                "tid": tid, "args": {"sort_index": sort},
+            })
+    return events
+
+
+def _assign_ozq_slots(
+    intervals: list[tuple[float, float, str]],
+) -> list[tuple[int, float, float, str]]:
+    """Greedily pack (start, end, name) intervals onto slot tracks.
+
+    Requests are assigned the lowest slot free at their start time —
+    the same first-fit the hardware queue's occupancy visualisation
+    needs.  Returns (slot, start, end, name) tuples.
+    """
+    free: list[int] = []  # min-heap of free slot ids
+    busy: list[tuple[float, int]] = []  # (end, slot)
+    next_slot = 0
+    out: list[tuple[int, float, float, str]] = []
+    for start, end, name in intervals:
+        while busy and busy[0][0] <= start:
+            _, slot = heapq.heappop(busy)
+            heapq.heappush(free, slot)
+        if free:
+            slot = heapq.heappop(free)
+        else:
+            slot = next_slot
+            next_slot += 1
+        heapq.heappush(busy, (end, slot))
+        out.append((slot, start, end, name))
+    return out
+
+
+def chrome_trace(
+    events: list[TraceEvent],
+    *,
+    label: str = "repro-sim",
+) -> dict:
+    """Render a captured event stream as a Chrome trace-event object."""
+    trace: list[dict] = _meta(label)
+    ports: set[int] = set()
+    ozq_intervals: list[tuple[float, float, str]] = []
+
+    for event in events:
+        kind = event.kind
+        if kind == "issue":
+            ports.add(event.row)
+            trace.append({
+                "name": event.tag, "cat": event.op_kind, "ph": "X",
+                "ts": event.cycle, "dur": 1.0,
+                "pid": PID, "tid": 1 + event.row,
+                "args": {
+                    "kernel_iter": event.kernel_iter,
+                    "source_iter": event.source_iter,
+                    "stage": event.stage,
+                },
+            })
+        elif kind == "stall":
+            trace.append({
+                "name": f"stall-on-use {event.consumer}", "cat": "stall",
+                "ph": "X", "ts": event.cycle, "dur": event.wait,
+                "pid": PID, "tid": STALL_TID,
+                "args": {
+                    "slot": event.slot,
+                    "source_iter": event.source_iter,
+                    "inflight_k": event.inflight,
+                },
+            })
+        elif kind == "ozq-stall":
+            trace.append({
+                "name": f"ozq-full {event.tag}", "cat": "stall",
+                "ph": "X", "ts": event.cycle, "dur": event.wait,
+                "pid": PID, "tid": STALL_TID,
+                "args": {},
+            })
+        elif kind in ("load", "store", "prefetch"):
+            if event.occupies_ozq and event.latency > 0:
+                ozq_intervals.append((
+                    event.cycle, event.cycle + event.latency,
+                    f"{kind} {event.ref} L{event.level}",
+                ))
+        elif kind == "prefetch-drop":
+            trace.append({
+                "name": f"drop {event.tag}", "cat": "prefetch",
+                "ph": "i", "ts": event.cycle, "pid": PID,
+                "tid": STALL_TID, "s": "t",
+                "args": {"reason": event.reason},
+            })
+
+    slots: set[int] = set()
+    for slot, start, end, name in _assign_ozq_slots(ozq_intervals):
+        slots.add(slot)
+        trace.append({
+            "name": name, "cat": "ozq", "ph": "X",
+            "ts": start, "dur": end - start,
+            "pid": PID, "tid": OZQ_TID_BASE + slot,
+            "args": {},
+        })
+
+    for row in sorted(ports):
+        trace.extend(_meta(f"port-{row}", tid=1 + row, sort=1 + row))
+    trace.extend(_meta("stalls", tid=STALL_TID, sort=STALL_TID))
+    for slot in sorted(slots):
+        trace.extend(_meta(
+            f"ozq-slot-{slot}", tid=OZQ_TID_BASE + slot,
+            sort=OZQ_TID_BASE + slot,
+        ))
+
+    return {
+        "traceEvents": trace,
+        "displayTimeUnit": "ms",
+        "metadata": {"tool": "repro.trace", "clock": "cycles"},
+    }
+
+
+def validate_chrome_trace(data: object) -> list[str]:
+    """Structural schema check; returns a list of problems (empty = ok)."""
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        return ["top level is not an object"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not an array"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: missing name")
+        if ph not in ("X", "B", "E", "i", "M", "C"):
+            problems.append(f"{where}: unsupported phase {ph!r}")
+            continue
+        if not isinstance(event.get("pid"), int):
+            problems.append(f"{where}: missing pid")
+        if ph != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts != ts or ts < 0:
+                problems.append(f"{where}: bad ts {ts!r}")
+            if not isinstance(event.get("tid"), int):
+                problems.append(f"{where}: missing tid")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur != dur or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+    try:
+        json.dumps(data)
+    except (TypeError, ValueError) as exc:
+        problems.append(f"not JSON-serialisable: {exc}")
+    return problems
+
+
+def write_chrome_trace(
+    path: str | Path, events: list[TraceEvent], *, label: str = "repro-sim"
+) -> Path:
+    """Export ``events`` to ``path`` as Chrome trace-event JSON."""
+    path = Path(path)
+    data = chrome_trace(events, label=label)
+    problems = validate_chrome_trace(data)
+    if problems:  # pragma: no cover - exporter bug guard
+        raise ValueError(f"invalid chrome trace: {problems[:3]}")
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data) + "\n")
+    return path

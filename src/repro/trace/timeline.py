@@ -1,0 +1,103 @@
+"""ASCII kernel timeline: the event stream as a terminal-width chart.
+
+One line per issue port (the op's row within the II), a stall line and
+an OzQ occupancy line, over a window of cycles::
+
+    cycle        2840........2850........2860........2870........
+    port-0       L.........L.........L.........L.........
+    port-1       .a.........a.........a.........a........
+    stall        ....****************........................
+    ozq          2233444444444444444432222211110000000000
+
+Issue marks are the mnemonic's first letter (capital for memory ops),
+stalls are ``*`` (stall-on-use) / ``o`` (OzQ-full), and the OzQ line
+shows the number of in-flight entries per cycle (``+`` for >=10).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.trace.events import TraceEvent
+
+
+def _mark(tag: str, op_kind: str) -> str:
+    """One display character for an issued op."""
+    mnemonic = tag.rsplit(":", 1)[-1]
+    char = mnemonic[0] if mnemonic else "?"
+    if op_kind in ("load", "store", "prefetch"):
+        return char.upper()
+    return char.lower()
+
+
+def ascii_timeline(
+    events: list[TraceEvent],
+    *,
+    start: float | None = None,
+    width: int = 100,
+) -> str:
+    """Render the events inside ``[start, start + width)`` cycles.
+
+    ``start`` defaults to the first issue/stall event in the stream —
+    pass a later cycle to look at steady state instead of the ramp-up.
+    """
+    if width <= 0:
+        raise ValueError("timeline width must be positive")
+    if start is None:
+        start = next(
+            (e.cycle for e in events if e.kind in ("issue", "stall")), 0.0
+        )
+    start = float(start)
+    end = start + width
+
+    ports: dict[int, list[str]] = {}
+    stall_row = ["."] * width
+    ozq_depth = [0] * width
+
+    def col(cycle: float) -> int:
+        return int(math.floor(cycle - start))
+
+    def span(begin: float, duration: float) -> range:
+        lo = max(0, col(begin))
+        hi = min(width, col(begin + duration) + 1)
+        return range(lo, hi)
+
+    for event in events:
+        kind = event.kind
+        if kind == "issue":
+            if start <= event.cycle < end:
+                row = ports.setdefault(event.row, ["."] * width)
+                row[col(event.cycle)] = _mark(event.tag, event.op_kind)
+        elif kind == "stall":
+            for c in span(event.cycle, event.wait):
+                stall_row[c] = "*"
+        elif kind == "ozq-stall":
+            for c in span(event.cycle, event.wait):
+                if stall_row[c] == ".":
+                    stall_row[c] = "o"
+        elif kind in ("load", "store", "prefetch"):
+            if getattr(event, "occupies_ozq", False) and event.latency > 0:
+                for c in span(event.cycle, event.latency):
+                    ozq_depth[c] += 1
+
+    label_width = max(
+        [len("cycle"), len("stall"), len("ozq")]
+        + [len(f"port-{row}") for row in ports]
+    ) + 2
+
+    # a cycle ruler: the start-cycle number every 10 columns
+    ruler = []
+    while len(ruler) < width:
+        tick = str(int(start + len(ruler)))
+        ruler.extend(list(tick[: 10 - (len(ruler) % 10) or 10]))
+        while len(ruler) % 10:
+            ruler.append(".")
+    lines = [f"{'cycle':<{label_width}}{''.join(ruler[:width])}"]
+    for row in sorted(ports):
+        lines.append(f"{f'port-{row}':<{label_width}}{''.join(ports[row])}")
+    lines.append(f"{'stall':<{label_width}}{''.join(stall_row)}")
+    ozq_row = "".join(
+        "." if d == 0 else (str(d) if d < 10 else "+") for d in ozq_depth
+    )
+    lines.append(f"{'ozq':<{label_width}}{ozq_row}")
+    return "\n".join(lines)

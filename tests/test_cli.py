@@ -269,3 +269,133 @@ class TestVerifyFlags:
         out = capsys.readouterr().out
         assert "Geomean" in out
         assert "cells verified, 0 error(s)" in out
+
+
+class TestTraceCommand:
+    def test_trace_defaults_missing_spaces_and_writes_chrome(
+        self, loop_file, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        from repro.trace import validate_chrome_trace
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", loop_file, "--trips", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "stall attribution:" in out
+        assert "closed accounting: OK" in out
+        # default output: <loop file stem>.trace.json in the cwd
+        data = json.loads((tmp_path / "loop.trace.json").read_text())
+        assert validate_chrome_trace(data) == []
+
+    def test_trace_report_and_timeline(self, loop_file, tmp_path, capsys):
+        import json
+
+        report = tmp_path / "report.json"
+        assert main([
+            "trace", loop_file, "--trips", "200",
+            "--chrome", str(tmp_path / "t.json"),
+            "--report", str(report), "--timeline",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "port-" in out and "ozq" in out  # the ASCII timeline
+        data = json.loads(report.read_text())
+        assert data["summary"]["ok"] is True
+        # the acceptance identity: per-load stall cycles sum to the total
+        sites = data["attribution"]["sites"]
+        assert sum(s["stall_cycles"] for s in sites) == pytest.approx(
+            data["summary"]["stall_on_use"]
+        )
+
+    def test_trace_explicit_space_and_ring(self, loop_file, tmp_path, capsys):
+        assert main([
+            "trace", loop_file, "--trips", "100",
+            "--space", "a=1M:stream", "--space", "b=1M:stream",
+            "--chrome", str(tmp_path / "t.json"), "--ring", "64",
+        ]) == 0
+        assert "closed accounting: OK" in capsys.readouterr().out
+
+    def test_trace_missing_file(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.s"),
+                     "--chrome", str(tmp_path / "t.json")]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestTraceFlags:
+    def test_bench_trace_records_cells(self, tmp_path, capsys):
+        args = [
+            "bench", "--suite", "micro", "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--manifest", str(tmp_path / "a.json"), "--trace",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "traced 8/8 cells (0 accounting failure(s))" in out
+        assert "trace: 8/8 cells traced, accounting OK" in out
+
+        # warm re-run: summaries come from the cache, status unchanged
+        args[-2] = str(tmp_path / "b.json")
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "cache 8/8 hits (100%)" in out
+        assert "trace: 8/8 cells traced, accounting OK" in out
+
+    def test_experiment_trace(self, capsys):
+        assert main([
+            "experiment", "--suite", "micro", "--benchmark", "micro.stream",
+            "--trace",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cells traced, accounting OK" in out
+
+    def test_bench_without_trace_prints_no_status(self, tmp_path, capsys):
+        assert main([
+            "bench", "--suite", "micro", "--benchmark", "micro.lowtrip",
+            "--no-cache", "--jobs", "1",
+            "--manifest", str(tmp_path / "m.json"),
+        ]) == 0
+        assert "trace:" not in capsys.readouterr().out
+
+
+class TestCompareDisjoint:
+    def test_compare_disjoint_manifests_exits_cleanly(
+        self, tmp_path, capsys
+    ):
+        assert main([
+            "bench", "--suite", "micro", "--benchmark", "micro.stream",
+            "--no-cache", "--jobs", "1",
+            "--manifest", str(tmp_path / "a.json"),
+        ]) == 0
+        assert main([
+            "bench", "--suite", "micro", "--benchmark", "micro.chase",
+            "--no-cache", "--jobs", "1",
+            "--manifest", str(tmp_path / "b.json"),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "compare", str(tmp_path / "a.json"), str(tmp_path / "b.json"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(no matching cells)" in out
+        assert "removed (only in A): 2 cell(s)" in out
+        assert "added (only in B): 2 cell(s)" in out
+        assert "n/a (no matched cells)" in out
+
+    def test_compare_partial_overlap(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main([
+            "bench", "--suite", "micro", "--cache-dir", cache,
+            "--jobs", "1", "--manifest", str(tmp_path / "a.json"),
+        ]) == 0
+        assert main([
+            "bench", "--suite", "micro", "--benchmark", "micro.stream",
+            "--cache-dir", cache, "--jobs", "1",
+            "--manifest", str(tmp_path / "b.json"),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "compare", str(tmp_path / "a.json"), str(tmp_path / "b.json"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "removed (only in A): 6 cell(s)" in out
+        assert "overall geomean (B vs A): +0.00% over 2 matched cells" in out

@@ -314,8 +314,39 @@ class TestCompare:
         assert cmp.only_in_a == [("b2", "base")]
         assert cmp.only_in_b == [("b3", "base")]
         text = format_comparison(cmp)
-        assert "only in A: 1 cells" in text
-        assert "only in B: 1 cells" in text
+        assert "removed (only in A): 1 cell(s)" in text
+        assert "added (only in B): 1 cell(s)" in text
+        assert "- b2 [base]" in text and "+ b3 [base]" in text
+        # the geomean covers the intersection only
+        assert "over 1 matched cells" in text
+
+    def test_disjoint_manifests_do_not_raise(self):
+        a = make_manifest("run-a", [make_cell("b1", "base", 100.0)])
+        b = make_manifest("run-b", [make_cell("b2", "hlo", 90.0)])
+        cmp = compare_manifests(a, b)
+        assert cmp.matched_cells == 0
+        assert cmp.only_in_a == [("b1", "base")]
+        assert cmp.only_in_b == [("b2", "hlo")]
+        # per-config and overall geomeans stay defined (empty intersection)
+        assert cmp.geomean("base") == 0.0
+        assert cmp.geomean("no-such-config") == 0.0
+        assert cmp.overall_geomean == 0.0
+        text = format_comparison(cmp)
+        assert "(no matching cells)" in text
+        assert "- b1 [base]" in text and "+ b2 [hlo]" in text
+        assert "n/a (no matched cells)" in text
+
+    def test_partial_overlap_geomean_uses_intersection_only(self):
+        # matched: b1 ratio 1.21; the unmatched b2 (ratio would be 2.0)
+        # must not leak into the geomean
+        a = make_manifest("run-a", [make_cell("b1", "base", 121.0),
+                                    make_cell("b2", "base", 200.0)])
+        b = make_manifest("run-b", [make_cell("b1", "base", 100.0),
+                                    make_cell("b3", "base", 100.0)])
+        cmp = compare_manifests(a, b)
+        assert cmp.matched_cells == 1
+        assert cmp.geomean("base") == pytest.approx(21.0)
+        assert cmp.overall_geomean == pytest.approx(21.0)
 
     def test_identical_runs_show_zero_drift(self, tmp_path):
         suite = micro_suite()[:2]

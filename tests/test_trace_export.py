@@ -1,0 +1,142 @@
+"""Tests for the trace exporters: Chrome JSON, ASCII timeline, summaries."""
+
+import json
+
+import pytest
+
+from repro.config import baseline_config
+from repro.ir import parse_loop
+from repro.machine import ItaniumMachine
+from repro.pipeliner import pipeline_loop
+from repro.sim.address import StreamSpec
+from repro.trace import (
+    chrome_trace,
+    ascii_timeline,
+    merge_trace_summaries,
+    trace_simulation,
+    trace_summary,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.trace.chrome import OZQ_TID_BASE, STALL_TID
+from tests.conftest import RUNNING_EXAMPLE
+
+LAYOUT = {
+    "a": StreamSpec(size=1 << 22, reuse=False),
+    "b": StreamSpec(size=1 << 22, reuse=False),
+}
+
+
+@pytest.fixture(scope="module")
+def traced():
+    machine = ItaniumMachine()
+    loop = parse_loop(RUNNING_EXAMPLE)
+    result = pipeline_loop(loop, machine, baseline_config())
+    return trace_simulation(result, machine, LAYOUT, [300], seed=5)
+
+
+class TestChromeExport:
+    def test_exported_trace_validates(self, traced):
+        data = chrome_trace(traced.events, label="copy_add")
+        assert validate_chrome_trace(data) == []
+        assert data["metadata"]["clock"] == "cycles"
+
+    def test_tracks_cover_ports_stalls_and_ozq(self, traced):
+        data = chrome_trace(traced.events)
+        tids = {e.get("tid") for e in data["traceEvents"] if e["ph"] == "X"}
+        assert STALL_TID in tids  # this run stalls
+        assert any(tid >= OZQ_TID_BASE for tid in tids)  # OzQ occupancy
+        assert any(0 < tid < STALL_TID for tid in tids)  # issue ports
+        names = {
+            e["args"]["name"]
+            for e in data["traceEvents"]
+            if e["name"] == "thread_name"
+        }
+        assert any(n.startswith("port-") for n in names)
+        assert "stalls" in names
+
+    def test_stall_durations_match_the_analyzer(self, traced):
+        data = chrome_trace(traced.events)
+        stall_dur = sum(
+            e["dur"]
+            for e in data["traceEvents"]
+            if e["ph"] == "X" and e.get("tid") == STALL_TID
+            and e["name"].startswith("stall-on-use")
+        )
+        assert stall_dur == pytest.approx(
+            traced.attribution.stall_on_use_total
+        )
+
+    def test_write_round_trips_through_json(self, traced, tmp_path):
+        path = write_chrome_trace(tmp_path / "t" / "out.trace.json",
+                                  traced.events, label="copy_add")
+        data = json.loads(path.read_text())
+        assert validate_chrome_trace(data) == []
+
+    @pytest.mark.parametrize("bad, problem", [
+        ([], "not an object"),
+        ({}, "missing or not an array"),
+        ({"traceEvents": []}, "empty"),
+        ({"traceEvents": [{"ph": "X", "name": "x", "pid": 0, "tid": 1,
+                           "ts": -1.0, "dur": 1.0}]}, "bad ts"),
+        ({"traceEvents": [{"ph": "X", "name": "x", "pid": 0, "tid": 1,
+                           "ts": 0.0, "dur": float("nan")}]}, "bad dur"),
+        ({"traceEvents": [{"ph": "Z", "name": "x", "pid": 0}]},
+         "unsupported phase"),
+    ])
+    def test_validator_rejects_malformed(self, bad, problem):
+        problems = validate_chrome_trace(bad)
+        assert any(problem in p for p in problems), problems
+
+
+class TestAsciiTimeline:
+    def test_rows_and_ruler(self, traced):
+        text = ascii_timeline(traced.events, width=60)
+        lines = text.splitlines()
+        assert lines[0].startswith("cycle")
+        assert any(line.startswith("port-") for line in lines)
+        assert lines[-2].startswith("stall")
+        assert lines[-1].startswith("ozq")
+        body = lines[1].split()[-1]
+        assert len(body) == 60
+
+    def test_window_selection(self, traced):
+        late = ascii_timeline(traced.events, start=200.0, width=40)
+        assert "200" in late.splitlines()[0]
+
+    def test_rejects_bad_width(self, traced):
+        with pytest.raises(ValueError, match="width"):
+            ascii_timeline(traced.events, width=0)
+
+
+class TestSummaries:
+    def test_summary_is_json_native(self, traced):
+        summary = trace_summary(traced.attribution, traced.check)
+        assert summary == json.loads(json.dumps(summary))
+        assert summary["ok"] is True
+        assert type(summary["coverage"]) is float
+        assert type(summary["stall_on_use"]) is float
+        assert all(type(k) is str for k in summary["clustering"])
+
+    def test_attribution_report_is_json_native(self, traced):
+        report = traced.attribution.to_dict()
+        assert report == json.loads(json.dumps(report))
+
+    def test_merge_sums_and_reweighs(self, traced):
+        summary = trace_summary(traced.attribution, traced.check)
+        merged = merge_trace_summaries([summary, summary])
+        assert merged["loops"] == 2
+        assert merged["events"] == 2 * summary["events"]
+        assert merged["stall_on_use"] == pytest.approx(
+            2 * summary["stall_on_use"]
+        )
+        # equal-weight merge of identical summaries preserves the means
+        assert merged["coverage"] == pytest.approx(summary["coverage"])
+        assert merged["mean_clustering"] == pytest.approx(
+            summary["mean_clustering"]
+        )
+
+    def test_merge_of_nothing_is_the_identity_summary(self):
+        merged = merge_trace_summaries([])
+        assert merged["ok"] is True
+        assert merged["loops"] == 0 and merged["coverage"] == 1.0
