@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands::
+Nine subcommands::
 
     python -m repro compile loop.s --policy hlo        # kernel + stats
     python -m repro simulate loop.s --trips 2000 --invocations 3 \\
@@ -13,6 +13,10 @@ Eight subcommands::
         --jobs 4 --cache-dir .repro-cache
     python -m repro bench --suite cpu2006 --jobs 8     # parallel sweep
     python -m repro compare runA.json runB.json        # manifest diff
+    python -m repro compare runA.json runB.json --fail-on-regression \\
+        --tolerance 0.5                                # CI regression gate
+    python -m repro fuzz --cases 200 --seed 0 --jobs 4 # oracle fuzzing
+    python -m repro fuzz --replay tests/corpus         # corpus replay
     python -m repro fig5                               # the theory curves
 
 ``compile``, ``experiment`` and ``bench`` additionally take ``--verify``,
@@ -455,7 +459,73 @@ def cmd_compare(args: argparse.Namespace) -> int:
     manifest_b = RunManifest.load(args.manifest_b)
     comparison = compare_manifests(manifest_a, manifest_b)
     print(format_comparison(comparison))
+    if args.fail_on_regression:
+        regressed = comparison.regressions(args.tolerance)
+        if regressed:
+            for config, gain in regressed.items():
+                print(
+                    f"regression: {config} geomean {gain:+.2f}% "
+                    f"(tolerance {args.tolerance:.2f}%)",
+                    file=sys.stderr,
+                )
+            return 1
+        print(
+            f"no regressions beyond {args.tolerance:.2f}% "
+            f"over {comparison.matched_cells} matched cells"
+        )
     return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import FuzzOptions, GenConfig, replay_corpus, run_fuzz
+
+    if args.replay:
+        summary = replay_corpus(args.replay)
+        print(
+            f"replayed {summary.cases} corpus case(s) in "
+            f"{summary.duration_s:.1f}s: "
+            f"{'OK' if summary.ok else f'{len(summary.failures)} FAILED'}"
+        )
+        for failure in summary.failures:
+            for violation in failure.get("violations", []):
+                print(
+                    f"  {failure.get('name', '?')}: "
+                    f"[{violation['oracle']}] {violation['detail']}",
+                    file=sys.stderr,
+                )
+        return 0 if summary.ok else 1
+
+    options = FuzzOptions(
+        cases=args.cases,
+        seed=args.seed,
+        jobs=args.jobs,
+        shrink=not args.no_shrink,
+        corpus_dir=args.corpus_dir,
+        cache_dir=args.cache_dir,
+        inject=args.inject,
+        gen=GenConfig(max_ops=args.max_ops),
+    )
+    summary = run_fuzz(options)
+    cached = f", {summary.cache_hits} cached" if summary.cache_hits else ""
+    print(
+        f"fuzzed {summary.cases} case(s) in {summary.duration_s:.1f}s"
+        f"{cached}: "
+        f"{'OK' if summary.ok else f'{len(summary.failures)} FAILED'}"
+    )
+    for failure in summary.failures:
+        oracles = sorted({v["oracle"] for v in failure["violations"]})
+        ops = failure.get("shrunk_ops")
+        shrunk = f", shrunk to {ops} op(s)" if ops is not None else ""
+        print(
+            f"  seed {failure['seed']}: {', '.join(oracles)}{shrunk}",
+            file=sys.stderr,
+        )
+        for violation in failure["violations"][:2]:
+            print(f"    [{violation['oracle']}] {violation['detail']}",
+                  file=sys.stderr)
+    for path in summary.saved:
+        print(f"  saved {path}", file=sys.stderr)
+    return 0 if summary.ok else 1
 
 
 def cmd_fig5(args: argparse.Namespace) -> int:
@@ -610,7 +680,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp = sub.add_parser("compare", help="diff two run manifests")
     p_cmp.add_argument("manifest_a")
     p_cmp.add_argument("manifest_b")
+    p_cmp.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit 1 when any config's geomean regressed (CI gate)",
+    )
+    p_cmp.add_argument(
+        "--tolerance", type=float, default=0.0, metavar="PERCENT",
+        help="geomean slowdown to tolerate before failing (default: 0.0)",
+    )
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="fuzz the compile path with differential/metamorphic oracles",
+    )
+    p_fuzz.add_argument("--cases", type=int, default=100, metavar="N",
+                        help="number of cases to generate (default: 100)")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="first generator seed (default: 0)")
+    p_fuzz.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default: 1, serial)")
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="keep failing cases at generated size")
+    p_fuzz.add_argument("--corpus-dir", metavar="PATH",
+                        help="save failing cases as .loop + .json here")
+    p_fuzz.add_argument("--cache-dir", metavar="PATH",
+                        help="content-addressed verdict cache directory")
+    p_fuzz.add_argument(
+        "--inject", default="none", choices=["none", "drop-edge"],
+        help="install a deliberate scheduler bug (oracle self-test)",
+    )
+    p_fuzz.add_argument("--max-ops", type=int, default=14, metavar="N",
+                        help="generated loop body size bound (default: 14)")
+    p_fuzz.add_argument("--replay", metavar="DIR",
+                        help="re-check every .loop file in a corpus "
+                             "directory instead of generating new cases")
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_fig5 = sub.add_parser("fig5", help="print the Fig. 5 theory curves")
     p_fig5.add_argument("--max-k", type=int, default=8)

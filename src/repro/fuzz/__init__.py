@@ -1,0 +1,55 @@
+"""Seeded loop-IR fuzzing with differential and metamorphic oracles.
+
+The fuzzer closes the gap between the static translation validator
+(:mod:`repro.analysis`) and hand-written tests: it generates adversarial
+but well-formed loops (:mod:`repro.fuzz.gen`), pushes each one through
+the production compile path, and checks the results against oracles that
+re-derive ground truth independently of the scheduler under test
+(:mod:`repro.fuzz.oracles`):
+
+* a *differential* architectural oracle — executing the modulo schedule
+  in schedule order must produce the same memory/register state as a
+  sequential reference interpretation (:mod:`repro.fuzz.archexec`);
+* the cycle-accounting identity of :mod:`repro.core.accounting`;
+* the full SA1xx-SA4xx static lint;
+* *metamorphic* relations (Secs. 1.1/3.3 of the paper): removing hints
+  or boosting latencies must never increase the II, and permuting the
+  address-stream seed preserves iteration counts and closed accounting.
+
+Failures are shrunk (:mod:`repro.fuzz.shrink`) and saved to a persistent
+regression corpus as replayable ``.loop`` files (the dialect of
+:func:`repro.ir.printer.loop_to_source`) plus JSON manifests, replayed
+by the tier-1 suite.  ``python -m repro fuzz`` is the CLI entry point.
+"""
+
+from repro.fuzz.gen import GenConfig, generate_loop, loop_fingerprint
+from repro.fuzz.oracles import (
+    ORACLE_VERSION,
+    CaseReport,
+    Violation,
+    check_loop,
+)
+from repro.fuzz.runner import (
+    FuzzOptions,
+    FuzzSummary,
+    replay_corpus,
+    run_fuzz,
+    scheduler_mutation,
+)
+from repro.fuzz.shrink import shrink_loop
+
+__all__ = [
+    "GenConfig",
+    "generate_loop",
+    "loop_fingerprint",
+    "ORACLE_VERSION",
+    "CaseReport",
+    "Violation",
+    "check_loop",
+    "FuzzOptions",
+    "FuzzSummary",
+    "run_fuzz",
+    "replay_corpus",
+    "scheduler_mutation",
+    "shrink_loop",
+]

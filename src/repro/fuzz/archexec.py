@@ -1,0 +1,382 @@
+"""Architectural (value-level) execution of loop IR.
+
+The differential oracle needs ground truth that is *independent* of the
+scheduler under test.  This module provides two executions of the same
+loop over identical deterministic address streams and initial values:
+
+* :func:`run_reference` — plain sequential interpretation, one source
+  iteration after another in body order;
+* :func:`run_scheduled` — replay of a modulo schedule: instruction
+  instances execute in global schedule order (``i*II + t(op)``, the
+  paper's kernel timing), registers follow rotation semantics (each
+  instance's definition is a fresh value; a use reads the producing
+  *instance* identified from the dataflow, exactly what rotating-register
+  renaming implements), and memory is a flat cell store shared by all
+  in-flight iterations.
+
+If the schedule respects every true dependence, the replay provably
+reaches the same final state as the reference (zero-latency edges are
+only memory anti dependences, whose tie-break matches body order).  A
+schedule produced from a *broken* DDG — a dropped edge, a wrong omega —
+misorders some pair of accesses and the final fingerprints diverge, or a
+use executes before its producer and an ordering violation is recorded.
+
+Addresses are modelled the way the dependence analyser models them
+(affine references walk ``offset + stride*i``), so whenever the compiler
+proves two references independent they really are disjoint here — the
+oracle never reports false aliasing races.  Values are 64-bit integers
+with deterministic per-opcode semantics; unknown opcodes hash their
+inputs, which preserves the only property the oracle needs: equal inputs
+give equal outputs, different inputs (almost surely) differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.instructions import Instruction
+from repro.ir.loop import Loop
+from repro.ir.memref import AccessPattern
+from repro.ir.registers import Reg
+
+_MASK = (1 << 64) - 1
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def mix(*parts) -> int:
+    """Deterministic 64-bit FNV-1a hash of the stringified parts."""
+    h = _FNV_OFFSET
+    for part in parts:
+        for ch in str(part):
+            h = ((h ^ ord(ch)) * _FNV_PRIME) & _MASK
+        h = ((h ^ 0x7C) * _FNV_PRIME) & _MASK
+    return h
+
+
+def _init_value(reg: Reg) -> int:
+    """The pre-loop (live-in / undefined) value of a register."""
+    return mix("init", reg.rclass.value, reg.index)
+
+
+def _fill_value(space: str, addr: int) -> int:
+    """The initial content of a memory cell."""
+    return mix("mem", space, addr)
+
+
+def address_streams(loop: Loop, n: int) -> dict[int, list[int]]:
+    """Per-reference address streams for ``n`` source iterations.
+
+    Keyed by ``MemRef.uid``.  Affine and invariant references follow the
+    dependence analyser's model exactly; symbolic / indirect / chase
+    references (which the analyser treats as unanalysable, forcing
+    conservative ordering edges) get arbitrary deterministic streams.
+    """
+    streams: dict[int, list[int]] = {}
+    for ref in loop.memrefs:
+        if ref.pattern is AccessPattern.AFFINE:
+            stride = ref.stride or ref.size
+            stream = [ref.offset + stride * i for i in range(n)]
+        elif ref.pattern is AccessPattern.INVARIANT:
+            stream = [ref.offset] * n
+        elif ref.pattern is AccessPattern.SYMBOLIC_STRIDE:
+            stride = ref.size * (2 + mix("symstride", ref.name) % 7)
+            stream = [ref.offset + stride * i for i in range(n)]
+        elif ref.pattern is AccessPattern.POINTER_CHASE:
+            stream = []
+            addr = ref.offset
+            for _ in range(n):
+                stream.append(addr)
+                addr = (mix("chase", ref.name, addr) % (1 << 24)) // ref.size
+                addr *= ref.size
+        else:  # INDIRECT
+            stream = [
+                ref.offset + ref.size * (mix("ix", ref.name, i) % 509)
+                for i in range(n)
+            ]
+        streams[ref.uid] = stream
+    return streams
+
+
+def _cell_space(loop: Loop, inst: Instruction) -> str:
+    """The memory-cell namespace of a memory op's reference.
+
+    References in a declared *independent* space carry a restrict-style
+    no-alias assertion; the compiler drops their ordering edges, so the
+    semantic model must honour the assertion too — each such reference
+    gets private cells.
+    """
+    ref = inst.memref
+    assert ref is not None
+    if ref.space in loop.independent_spaces:
+        return f"{ref.space}#{ref.uid}"
+    return ref.space
+
+
+@dataclass
+class ArchOutcome:
+    """Final architectural state of one execution."""
+
+    #: ``"space@addr"`` -> value for every cell written
+    memory: dict[str, int]
+    #: final value of every register defined in the body (plus live-outs)
+    registers: dict[str, int]
+    #: schedule-order anomalies (use before producer); empty for the
+    #: sequential reference
+    violations: list[str] = field(default_factory=list)
+
+    def fingerprint(self) -> dict:
+        return {"memory": self.memory, "registers": self.registers}
+
+
+def _eval(inst: Instruction, vals: list[int], imm: int | None) -> int:
+    def v(k: int) -> int:
+        return vals[k] if k < len(vals) else 0
+
+    m = inst.mnemonic
+    i = imm if imm is not None else 0
+    if m in ("add", "addl"):
+        r = v(0) + v(1) + i
+    elif m == "adds":
+        r = v(0) + i
+    elif m == "sub":
+        r = v(0) - v(1) - i
+    elif m == "shladd":
+        r = (v(0) << (max(1, i) & 63)) + v(1)
+    elif m == "and":
+        r = v(0) & v(1)
+    elif m == "or":
+        r = v(0) | v(1)
+    elif m == "xor":
+        r = v(0) ^ v(1)
+    elif m == "mov":
+        r = v(0) if vals else i
+    elif m == "sxt4":
+        low = v(0) & 0xFFFFFFFF
+        r = low - (1 << 32) if low & 0x80000000 else low
+    elif m == "zxt4":
+        r = v(0) & 0xFFFFFFFF
+    elif m == "shl":
+        r = v(0) << ((imm if imm is not None else v(1)) & 63)
+    elif m == "shr":
+        r = (v(0) & _MASK) >> ((imm if imm is not None else v(1)) & 63)
+    elif m in ("cmp", "fcmp"):
+        r = 1 if (v(0) & _MASK) < (v(1) & _MASK) else 0
+    elif m == "tbit":
+        r = (v(0) >> (i & 63)) & 1
+    elif m in ("fma",):
+        r = v(0) * v(1) + v(2)
+    elif m == "fnma":
+        r = v(2) - v(0) * v(1)
+    elif m == "fadd":
+        r = v(0) + v(1)
+    elif m == "fsub":
+        r = v(0) - v(1)
+    elif m == "fmpy":
+        r = v(0) * v(1)
+    elif m in ("fcvt", "setf", "getf"):
+        r = v(0)
+    else:
+        r = mix(m, i, *vals)
+    return r & _MASK
+
+
+def _defined_regs(loop: Loop) -> list[Reg]:
+    seen: dict[Reg, None] = {}
+    for inst in loop.body:
+        for reg in inst.all_defs():
+            seen[reg] = None
+    for reg in loop.live_out:
+        seen[reg] = None
+    return list(seen)
+
+
+def run_reference(
+    loop: Loop, n: int, streams: dict[int, list[int]] | None = None
+) -> ArchOutcome:
+    """Sequential interpretation: ``n`` iterations in body order."""
+    streams = streams if streams is not None else address_streams(loop, n)
+    regs: dict[Reg, int] = {}
+    mem: dict[tuple[str, int], int] = {}
+
+    def rd(reg: Reg) -> int:
+        return regs.get(reg, _init_value(reg))
+
+    for i in range(n):
+        for inst in loop.body:
+            if inst.is_branch:
+                continue
+            if inst.qual_pred is not None and not (rd(inst.qual_pred) & 1):
+                continue
+            if inst.is_prefetch:
+                if inst.post_increment is not None:
+                    addr_reg = inst.uses[0]
+                    regs[addr_reg] = (rd(addr_reg) + inst.post_increment) & _MASK
+                continue
+            if inst.is_load or inst.is_store:
+                space = _cell_space(loop, inst)
+                addr = streams[inst.memref.uid][i]
+                addr_reg = inst.uses[0]
+                old_addr = rd(addr_reg)
+                if inst.is_load:
+                    cell = (space, addr)
+                    value = mem.get(cell, _fill_value(space, addr))
+                    for d in inst.defs:
+                        regs[d] = value
+                else:
+                    mem[(space, addr)] = rd(inst.uses[1])
+                if inst.post_increment is not None:
+                    regs[addr_reg] = (old_addr + inst.post_increment) & _MASK
+                continue
+            vals = [rd(u) for u in inst.uses]
+            result = _eval(inst, vals, inst.imm)
+            for d in inst.defs:
+                regs[d] = result
+
+    return ArchOutcome(
+        memory={f"{s}@{a}": v for (s, a), v in sorted(mem.items())},
+        registers={
+            f"{r.rclass.value}{r.index}": regs.get(r, _init_value(r))
+            for r in _defined_regs(loop)
+        },
+    )
+
+
+def _producer_map(
+    loop: Loop,
+) -> dict[int, dict[Reg, tuple[Instruction | None, int]]]:
+    """For each instruction: register -> (producing instruction, carried).
+
+    ``carried`` is 1 when the value comes from the previous source
+    iteration (producer at the same body position or later), matching the
+    DDG's omega rule.  Computed for every *use* and — for predicated
+    fall-through — every *def* as well.
+    """
+    last_def: dict[Reg, Instruction] = {}
+    for inst in loop.body:
+        for reg in inst.all_defs():
+            last_def[reg] = inst
+
+    before: dict[Reg, Instruction] = {}
+    result: dict[int, dict[Reg, tuple[Instruction | None, int]]] = {}
+    for inst in loop.body:
+        entry: dict[Reg, tuple[Instruction | None, int]] = {}
+        for reg in set(inst.all_uses()) | set(inst.all_defs()):
+            if reg in before:
+                entry[reg] = (before[reg], 0)
+            elif reg in last_def:
+                entry[reg] = (last_def[reg], 1)
+            else:
+                entry[reg] = (None, 0)
+        result[inst.index] = entry
+        for reg in inst.all_defs():
+            before[reg] = inst
+    return result
+
+
+def run_scheduled(
+    loop: Loop,
+    times: dict[Instruction, int],
+    ii: int,
+    n: int,
+    streams: dict[int, list[int]] | None = None,
+) -> ArchOutcome:
+    """Replay a modulo schedule: instances in global schedule order.
+
+    Instruction ``op`` of source iteration ``i`` executes at global cycle
+    ``i*ii + times[op]``; ties resolve by (iteration, body position),
+    which respects every *satisfied* dependence edge.  Each instance's
+    register reads resolve to the producing instance's value (rotation
+    semantics); memory is shared.
+    """
+    streams = streams if streams is not None else address_streams(loop, n)
+    producers = _producer_map(loop)
+    body = [inst for inst in loop.body if not inst.is_branch]
+    instances = sorted(
+        (times[inst] + i * ii, i, inst.index, inst)
+        for i in range(n)
+        for inst in body
+    )
+
+    defvals: dict[tuple[int, int], dict[Reg, int]] = {}
+    mem: dict[tuple[str, int], int] = {}
+    violations: list[str] = []
+
+    def read(inst: Instruction, i: int, reg: Reg) -> int:
+        producer, carried = producers[inst.index][reg]
+        if producer is None:
+            return _init_value(reg)
+        j = i - carried
+        if j < 0:
+            return _init_value(reg)
+        vals = defvals.get((producer.index, j))
+        if vals is None:
+            violations.append(
+                f"op {inst.index} iter {i} reads {reg} before producer "
+                f"op {producer.index} iter {j} has executed"
+            )
+            return _init_value(reg)
+        return vals.get(reg, _init_value(reg))
+
+    for _time, i, _idx, inst in instances:
+        out: dict[Reg, int] = {}
+        active = True
+        if inst.qual_pred is not None:
+            active = bool(read(inst, i, inst.qual_pred) & 1)
+
+        if inst.is_prefetch:
+            if inst.post_increment is not None:
+                addr_reg = inst.uses[0]
+                prev = read(inst, i, addr_reg)
+                out[addr_reg] = (
+                    (prev + inst.post_increment) & _MASK if active else prev
+                )
+        elif inst.is_load or inst.is_store:
+            space = _cell_space(loop, inst)
+            addr = streams[inst.memref.uid][i]
+            addr_reg = inst.uses[0]
+            prev_addr = read(inst, i, addr_reg)
+            if inst.is_load:
+                if active:
+                    value = mem.get((space, addr), _fill_value(space, addr))
+                    for d in inst.defs:
+                        out[d] = value
+                else:
+                    for d in inst.defs:
+                        out[d] = read(inst, i, d)
+            elif active:
+                mem[(space, addr)] = read(inst, i, inst.uses[1])
+            if inst.post_increment is not None:
+                out[addr_reg] = (
+                    (prev_addr + inst.post_increment) & _MASK
+                    if active else prev_addr
+                )
+        else:
+            if active:
+                vals = [read(inst, i, u) for u in inst.uses]
+                result = _eval(inst, vals, inst.imm)
+                for d in inst.defs:
+                    out[d] = result
+            else:
+                for d in inst.defs:
+                    out[d] = read(inst, i, d)
+        defvals[(inst.index, i)] = out
+
+    last_def: dict[Reg, Instruction] = {}
+    for inst in body:
+        for reg in inst.all_defs():
+            last_def[reg] = inst
+    registers: dict[str, int] = {}
+    for reg in _defined_regs(loop):
+        producer = last_def.get(reg)
+        if producer is None or n == 0:
+            value = _init_value(reg)
+        else:
+            value = defvals[(producer.index, n - 1)].get(reg, _init_value(reg))
+        registers[f"{reg.rclass.value}{reg.index}"] = value
+
+    return ArchOutcome(
+        memory={f"{s}@{a}": v for (s, a), v in sorted(mem.items())},
+        registers=registers,
+        violations=violations,
+    )

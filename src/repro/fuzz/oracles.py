@@ -1,0 +1,354 @@
+"""Fuzzing oracles: everything a generated loop is checked against.
+
+Each oracle re-derives ground truth through a path *disjoint* from the
+machinery it judges, so a scheduler bug cannot vouch for itself:
+
+``lint``           SA1xx well-formedness of the input loop.
+``crash``          the compile path must not raise.
+``analysis``       the full SA1xx-SA4xx translation validation of the
+                   compiled artifact (schedule, kernel, rotation, hints).
+``dependence``     every edge of a *freshly rebuilt* DDG holds at base
+                   latency under the schedule times.  SA202 replays the
+                   schedule's own DDG, so a dropped or mis-weighted edge
+                   in ``build_ddg``-as-used-by-the-driver is invisible to
+                   it; this oracle closes that gap.
+``hlo-preserve``   HLO (hint annotation + prefetch insertion) must not
+                   change architectural results.
+``differential``   replaying the modulo schedule in schedule order
+                   (:mod:`repro.fuzz.archexec`) must reproduce the
+                   sequential reference's memory/register state.
+``accounting``     the simulator's cycle identity: bucket sum == total
+                   cycles (:func:`repro.core.accounting.verify_cycle_identity`).
+``metamorphic-*``  program transformations with a provable relation to
+                   the original compile:
+
+                   * ``hints``: stripping all latency hints compiles the
+                     loop through exactly the base-latency ladder, so if
+                     the stripped loop pipelines, the hinted one must
+                     pipeline at an II no larger (hints only ever *add*
+                     scheduling freedom — the driver retries every II
+                     with latencies demoted, Sec. 3.3);
+                   * ``boost``: forcing every load's hint to ``MEM`` may
+                     change the schedule but never the results, and the
+                     same ladder argument bounds its II by the stripped
+                     loop's;
+                   * ``seed``: permuting the simulator's address seed
+                     preserves iteration counts and closed accounting.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.analysis import lint_loop, verify_compiled
+from repro.config import CompilerConfig
+from repro.core.accounting import verify_cycle_identity
+from repro.core.compiler import CompiledLoop, LoopCompiler
+from repro.ddg.graph import build_ddg
+from repro.fuzz.archexec import ArchOutcome, run_reference, run_scheduled
+from repro.ir.loop import Loop
+from repro.ir.memref import LatencyHint
+from repro.machine.itanium2 import ItaniumMachine
+from repro.pipeliner.driver import PipelineResult, pipeline_loop
+from repro.sim.address import StreamSpec
+from repro.sim.executor import simulate_loop
+
+#: bump when oracle semantics change — part of the harness cache key, so
+#: stale cached verdicts are never replayed against new oracles
+ORACLE_VERSION = 1
+
+#: source iterations for the architectural executions — enough to cross
+#: several stage boundaries of any schedule the generator can provoke
+N_ARCH = 17
+
+#: working-set bytes per memory space in the cycle-identity simulations
+_SIM_SPACE_BYTES = 1 << 16
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle failure for one case."""
+
+    oracle: str
+    detail: str
+    code: str = ""
+
+    def to_dict(self) -> dict:
+        return {"oracle": self.oracle, "detail": self.detail, "code": self.code}
+
+
+@dataclass
+class CaseReport:
+    """Everything the fuzzer learned about one loop."""
+
+    name: str
+    seed: int | None = None
+    pipelined: bool = False
+    ii: int = 0
+    violations: list[Violation] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def oracles_failed(self) -> list[str]:
+        """Distinct failing oracle names, first-failure order (the shrink
+        target: a reduction must keep at least the first of these)."""
+        seen: list[str] = []
+        for v in self.violations:
+            if v.oracle not in seen:
+                seen.append(v.oracle)
+        return seen
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "pipelined": self.pipelined,
+            "ii": self.ii,
+            "ok": self.ok,
+            "violations": [v.to_dict() for v in self.violations],
+            "stats": self.stats,
+        }
+
+
+def _diff_outcomes(ref: ArchOutcome, got: ArchOutcome, limit: int = 3) -> str:
+    """Compact first-differences summary of two architectural outcomes."""
+    diffs: list[str] = []
+    for kind, a, b in (("mem", ref.memory, got.memory),
+                       ("reg", ref.registers, got.registers)):
+        for key in sorted(set(a) | set(b)):
+            if a.get(key) != b.get(key):
+                diffs.append(
+                    f"{kind} {key}: ref={a.get(key)} got={b.get(key)}"
+                )
+            if len(diffs) >= limit:
+                return "; ".join(diffs) + "; ..."
+    return "; ".join(diffs)
+
+
+def _check_fresh_ddg(
+    report: CaseReport, result: PipelineResult, machine: ItaniumMachine
+) -> None:
+    """Rebuild the DDG from scratch and re-check every edge at base latency."""
+    schedule = result.schedule
+    assert schedule is not None
+    fresh = build_ddg(result.loop)
+    for edge in fresh.edges:
+        lat = edge.latency(machine.latency_query, False)
+        lhs = schedule.times[edge.dst]
+        rhs = schedule.times[edge.src] + lat - schedule.ii * edge.omega
+        if lhs < rhs:
+            report.violations.append(Violation(
+                "dependence",
+                f"{edge!r} violated under fresh DDG: "
+                f"t(dst)={lhs} < t(src)+lat-II*w={rhs}",
+            ))
+
+
+def _check_replay(
+    report: CaseReport,
+    oracle: str,
+    reference: ArchOutcome,
+    result: PipelineResult,
+    n: int,
+) -> None:
+    """Replay a pipelined result and compare against ``reference``."""
+    schedule = result.schedule
+    assert schedule is not None
+    replay = run_scheduled(result.loop, schedule.times, schedule.ii, n)
+    for message in replay.violations[:3]:
+        report.violations.append(Violation(oracle, f"ordering: {message}"))
+    if replay.fingerprint() != reference.fingerprint():
+        report.violations.append(Violation(
+            oracle, f"state diverged: {_diff_outcomes(reference, replay)}"
+        ))
+
+
+def _sim_layout(loop: Loop) -> dict[str, StreamSpec]:
+    return {
+        ref.space: StreamSpec(size=_SIM_SPACE_BYTES)
+        for ref in loop.memrefs
+    }
+
+
+def _sim_trips(loop: Loop) -> list[int]:
+    est = int(loop.average_trips(100.0))
+    return [min(64, max(2, est)), 7]
+
+
+def _check_accounting(
+    report: CaseReport, compiled: CompiledLoop, machine: ItaniumMachine
+) -> None:
+    layout = _sim_layout(compiled.loop)
+    trips = _sim_trips(compiled.loop)
+    runs = []
+    for seed in (11, 12):  # metamorphic-seed: permute the address seed
+        try:
+            run = simulate_loop(
+                compiled.result, machine, layout, trips, seed=seed
+            )
+        except Exception as exc:  # noqa: BLE001 - any crash is a finding
+            report.violations.append(Violation(
+                "accounting", f"simulation crashed (seed={seed}): {exc!r}"
+            ))
+            return
+        runs.append(run)
+        if not verify_cycle_identity(run.cycles, run.counters):
+            report.violations.append(Violation(
+                "accounting",
+                f"cycle identity open (seed={seed}): cycles={run.cycles} "
+                f"buckets={run.counters.total_cycles}",
+            ))
+    first, second = runs
+    if (first.total_iterations, first.invocations) != (
+        second.total_iterations, second.invocations
+    ):
+        report.violations.append(Violation(
+            "metamorphic-seed",
+            "address-seed permutation changed iteration accounting: "
+            f"{first.total_iterations}/{first.invocations} vs "
+            f"{second.total_iterations}/{second.invocations}",
+        ))
+
+
+def check_loop(
+    loop: Loop,
+    machine: ItaniumMachine | None = None,
+    config: CompilerConfig | None = None,
+    seed: int | None = None,
+    n_arch: int = N_ARCH,
+    simulate: bool = True,
+    metamorphic: bool = True,
+) -> CaseReport:
+    """Run every oracle over one loop; returns the full case report.
+
+    ``loop`` is never mutated.  ``seed`` is carried into the report for
+    manifests only.  ``simulate``/``metamorphic`` gate the expensive
+    oracles (the shrinker disables whichever did not witness the failure).
+    """
+    machine = machine or ItaniumMachine()
+    config = config or CompilerConfig()
+    report = CaseReport(name=loop.name, seed=seed)
+
+    for diag in lint_loop(loop).errors:
+        report.violations.append(Violation("lint", diag.format(), diag.code))
+    if report.violations:
+        return report
+
+    try:
+        compiled = LoopCompiler(machine, config).compile(loop)
+    except Exception as exc:  # noqa: BLE001 - any crash is a finding
+        report.violations.append(
+            Violation("crash", f"compile raised {type(exc).__name__}: {exc}")
+        )
+        return report
+
+    result = compiled.result
+    report.pipelined = result.pipelined
+    report.ii = result.stats.ii
+    report.stats = {
+        "pipelined": result.pipelined,
+        "ii": result.stats.ii,
+        "res_ii": result.bounds.res_ii,
+        "rec_ii": result.bounds.rec_ii,
+        "stage_count": result.stats.stage_count,
+        "seq_length": result.seq_length,
+    }
+
+    for diag in verify_compiled(compiled).errors:
+        report.violations.append(Violation("analysis", diag.format(), diag.code))
+
+    # HLO must preserve architectural semantics (hints + prefetches only)
+    reference = run_reference(loop, n_arch)
+    hlo_reference = run_reference(compiled.loop, n_arch)
+    if reference.fingerprint() != hlo_reference.fingerprint():
+        report.violations.append(Violation(
+            "hlo-preserve",
+            f"HLO changed results: {_diff_outcomes(reference, hlo_reference)}",
+        ))
+
+    if result.pipelined and result.schedule is not None:
+        _check_fresh_ddg(report, result, machine)
+        _check_replay(report, "differential", hlo_reference, result, n_arch)
+
+    if simulate:
+        _check_accounting(report, compiled, machine)
+
+    if metamorphic:
+        _check_metamorphic(report, compiled, machine, config, n_arch)
+
+    return report
+
+
+def _check_metamorphic(
+    report: CaseReport,
+    compiled: CompiledLoop,
+    machine: ItaniumMachine,
+    config: CompilerConfig,
+    n_arch: int,
+) -> None:
+    base = compiled.result
+    hlo_reference = run_reference(compiled.loop, n_arch)
+
+    # --- strip every latency hint -------------------------------------
+    stripped_loop = copy.deepcopy(compiled.loop)
+    for ref in stripped_loop.memrefs:
+        ref.hint = LatencyHint.NONE
+        ref.hint_source = ""
+    try:
+        stripped = pipeline_loop(stripped_loop, machine, config)
+    except Exception as exc:  # noqa: BLE001
+        report.violations.append(Violation(
+            "metamorphic-hints", f"hint-stripped compile raised: {exc!r}"
+        ))
+        return
+    if stripped.pipelined:
+        if not base.pipelined:
+            report.violations.append(Violation(
+                "metamorphic-hints",
+                "loop pipelines without hints but not with them "
+                f"(stripped II={stripped.stats.ii})",
+            ))
+        elif base.stats.ii > stripped.stats.ii:
+            report.violations.append(Violation(
+                "metamorphic-hints",
+                f"hints increased the II: hinted={base.stats.ii} "
+                f"stripped={stripped.stats.ii} (driver retries every II "
+                "at base latencies, so hinted II must not exceed this)",
+            ))
+        _check_replay(report, "metamorphic-hints", hlo_reference, stripped,
+                      n_arch)
+
+    # --- boost every load to the worst-case hint ----------------------
+    boosted_loop = copy.deepcopy(compiled.loop)
+    for inst in boosted_loop.loads:
+        if inst.memref is not None and not inst.is_prefetch:
+            inst.memref.hint = LatencyHint.MEM
+            inst.memref.hint_source = "fuzz-boost"
+    try:
+        boosted = pipeline_loop(boosted_loop, machine, config)
+    except Exception as exc:  # noqa: BLE001
+        report.violations.append(Violation(
+            "metamorphic-boost", f"boosted compile raised: {exc!r}"
+        ))
+        return
+    if stripped.pipelined:
+        if not boosted.pipelined:
+            report.violations.append(Violation(
+                "metamorphic-boost",
+                "boosting hints defeated pipelining that succeeds at base "
+                f"latencies (stripped II={stripped.stats.ii})",
+            ))
+        elif boosted.stats.ii > stripped.stats.ii:
+            report.violations.append(Violation(
+                "metamorphic-boost",
+                f"boosted II={boosted.stats.ii} exceeds the base-latency "
+                f"ladder's II={stripped.stats.ii}",
+            ))
+    if boosted.pipelined:
+        _check_replay(report, "metamorphic-boost", hlo_reference, boosted,
+                      n_arch)

@@ -1,0 +1,332 @@
+"""The fuzzing campaign driver: generate, check, shrink, persist.
+
+One *case* is ``(seed, GenConfig, inject-mode)``: the loop is generated,
+every oracle of :mod:`repro.fuzz.oracles` runs over it, and the verdict
+is optionally cached through the harness's content-addressed
+:class:`~repro.harness.cache.ArtifactCache`.  The cache key includes the
+generator seed and configuration, :data:`~repro.fuzz.oracles.ORACLE_VERSION`
+and the injection mode, so changing any of them — in particular
+strengthening an oracle — invalidates stale verdicts instead of replaying
+them.
+
+Failing cases are re-derived in the parent process, greedily shrunk
+(:mod:`repro.fuzz.shrink`), and saved to a corpus directory as a
+replayable ``.loop`` file plus a JSON manifest recording provenance and
+the violations observed.  ``tests/corpus/`` is the persistent regression
+corpus replayed by the tier-1 suite; campaign output directories use the
+same format, so promoting a new reproducer into the repository is a file
+copy.
+
+``scheduler_mutation`` deliberately breaks the pipeliner (currently: the
+driver's DDG loses the first load-data flow edge) to prove the oracles
+can catch a real scheduling bug end to end — the fuzzing equivalent of
+the analysis layer's mutation tests.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import repro.pipeliner.driver as _driver
+from repro.ddg.edges import DepKind
+from repro.ddg.graph import DDG
+from repro.fuzz.gen import GenConfig, generate_loop
+from repro.fuzz.oracles import ORACLE_VERSION, check_loop
+from repro.fuzz.shrink import shrink_loop
+from repro.harness.cache import ArtifactCache, hash_key
+from repro.harness.pool import run_tasks
+from repro.ir.loop import Loop
+from repro.ir.parser import parse_loop
+from repro.ir.printer import loop_to_source
+
+#: supported deliberate-bug modes for ``scheduler_mutation``
+INJECT_MODES = ("none", "drop-edge")
+
+
+# --- deliberate scheduler bugs ---------------------------------------------
+
+def _drop_first_load_flow_edge(ddg: DDG) -> DDG:
+    """A copy of ``ddg`` without the first load-data FLOW edge.
+
+    "First" in body-and-edge order, which is deterministic for a given
+    loop and — unlike dropping the k-th edge of the list — stays aimed at
+    the same kind of edge while the shrinker rewrites the loop around it.
+    """
+    victim = None
+    for edge in ddg.edges:
+        if (
+            edge.kind is DepKind.FLOW
+            and edge.src.is_load
+            and edge.reg in edge.src.defs
+        ):
+            victim = edge
+            break
+    if victim is None:
+        return ddg
+    pruned = DDG(ddg.loop)
+    for edge in ddg.edges:
+        if edge is not victim:
+            pruned.add_edge(edge)
+    return pruned
+
+
+@contextlib.contextmanager
+def scheduler_mutation(mode: str | None):
+    """Temporarily install a known scheduler bug (tests the oracles).
+
+    ``"drop-edge"`` rebinds the pipeliner driver's ``build_ddg`` so every
+    schedule is computed against a DDG missing one load-use dependence.
+    The oracles build their *own* fresh DDG straight from
+    :mod:`repro.ddg.graph`, which stays untouched — exactly the situation
+    the ``dependence`` and ``differential`` oracles exist for, and one
+    the schedule's self-check (SA202, which replays the schedule's own
+    DDG) provably cannot see.
+    """
+    if mode in (None, "", "none"):
+        yield
+        return
+    if mode != "drop-edge":
+        raise ValueError(
+            f"unknown injection mode {mode!r} (choose from {INJECT_MODES})"
+        )
+    original = _driver.build_ddg
+
+    def mutated(loop: Loop) -> DDG:
+        return _drop_first_load_flow_edge(original(loop))
+
+    _driver.build_ddg = mutated
+    try:
+        yield
+    finally:
+        _driver.build_ddg = original
+
+
+# --- one case ---------------------------------------------------------------
+
+def case_key(seed: int, gen: GenConfig, inject: str) -> str:
+    """Cache key for one fuzz case's verdict."""
+    return hash_key({
+        "kind": "fuzz-case",
+        "seed": seed,
+        "gen": gen.to_dict(),
+        "oracle_version": ORACLE_VERSION,
+        "machine": "itanium2",
+        "inject": inject or "none",
+    })
+
+
+def _run_case(payload: dict) -> dict:
+    """Pool worker: one seed through generation and every oracle."""
+    seed = payload["seed"]
+    gen = GenConfig.from_dict(payload["gen"])
+    inject = payload.get("inject", "none")
+    cache = (
+        ArtifactCache(payload["cache_dir"]) if payload.get("cache_dir") else None
+    )
+    key = case_key(seed, gen, inject)
+    if cache is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            return {**hit, "cache_hit": True}
+
+    with scheduler_mutation(inject):
+        loop = generate_loop(seed, gen)
+        report = check_loop(
+            loop,
+            seed=seed,
+            simulate=payload.get("simulate", True),
+            metamorphic=payload.get("metamorphic", True),
+        )
+    data = report.to_dict()
+    if cache is not None:
+        cache.put(key, data)
+    return {**data, "cache_hit": False}
+
+
+# --- the campaign -----------------------------------------------------------
+
+@dataclass
+class FuzzOptions:
+    """One fuzzing campaign's knobs (mirrors ``python -m repro fuzz``)."""
+
+    cases: int = 100
+    seed: int = 0
+    jobs: int = 1
+    shrink: bool = True
+    #: where failing cases are persisted (``None``: don't persist)
+    corpus_dir: str | Path | None = None
+    cache_dir: str | Path | None = None
+    inject: str = "none"
+    gen: GenConfig = field(default_factory=GenConfig)
+    simulate: bool = True
+    metamorphic: bool = True
+
+
+@dataclass
+class FuzzSummary:
+    """Outcome of one campaign (or one corpus replay)."""
+
+    cases: int
+    #: failing case reports (dicts), shrink info attached when available
+    failures: list[dict]
+    cache_hits: int = 0
+    duration_s: float = 0.0
+    #: corpus files written for the failures
+    saved: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        return {
+            "cases": self.cases,
+            "ok": self.ok,
+            "failures": self.failures,
+            "cache_hits": self.cache_hits,
+            "duration_s": self.duration_s,
+            "saved": self.saved,
+        }
+
+
+def _shrink_gates(target: str) -> tuple[bool, bool]:
+    """(simulate, metamorphic) oracle gates needed to witness ``target``."""
+    simulate = target in ("accounting", "metamorphic-seed")
+    metamorphic = (not simulate) and target.startswith("metamorphic-")
+    return simulate, metamorphic
+
+
+def _save_case(
+    corpus_dir: Path,
+    loop: Loop,
+    report: dict,
+    *,
+    seed: int,
+    gen: GenConfig,
+    inject: str,
+) -> list[str]:
+    """Persist one reproducer: ``<stem>.loop`` + ``<stem>.json``."""
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"fz-{seed}" if inject in ("", "none") else f"fz-{seed}-{inject}"
+    loop_path = corpus_dir / f"{stem}.loop"
+    loop_path.write_text(loop_to_source(loop), encoding="utf-8")
+    manifest = {
+        "seed": seed,
+        "gen": gen.to_dict(),
+        "oracle_version": ORACLE_VERSION,
+        "inject": inject or "none",
+        "ops": len(loop.body),
+        "report": report,
+    }
+    json_path = corpus_dir / f"{stem}.json"
+    json_path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return [str(loop_path), str(json_path)]
+
+
+def run_fuzz(options: FuzzOptions) -> FuzzSummary:
+    """Run one campaign: ``options.cases`` seeds from ``options.seed``."""
+    start = time.perf_counter()
+    payloads = [
+        {
+            "seed": options.seed + i,
+            "gen": options.gen.to_dict(),
+            "inject": options.inject or "none",
+            "cache_dir": str(options.cache_dir) if options.cache_dir else None,
+            "simulate": options.simulate,
+            "metamorphic": options.metamorphic,
+        }
+        for i in range(options.cases)
+    ]
+    results = run_tasks(_run_case, payloads, workers=options.jobs)
+
+    failures: list[dict] = []
+    saved: list[str] = []
+    for result in results:
+        if result["ok"]:
+            continue
+        failure = dict(result)
+        # re-derive the loop in-process; shrink while the verdict holds
+        with scheduler_mutation(options.inject):
+            loop = generate_loop(failure["seed"], options.gen)
+            if options.shrink and failure["violations"]:
+                target = failure["violations"][0]["oracle"]
+                simulate, metamorphic = _shrink_gates(target)
+
+                def recheck(cand: Loop):
+                    return check_loop(
+                        cand, simulate=simulate, metamorphic=metamorphic
+                    )
+
+                loop, shrunk_report = shrink_loop(loop, recheck, target)
+                failure["shrunk"] = shrunk_report.to_dict()
+                failure["shrunk_ops"] = len(loop.body)
+        failure["source"] = loop_to_source(loop)
+        if options.corpus_dir is not None:
+            saved.extend(_save_case(
+                Path(options.corpus_dir),
+                loop,
+                failure.get("shrunk", {
+                    k: failure[k]
+                    for k in ("name", "seed", "ok", "violations")
+                }),
+                seed=failure["seed"],
+                gen=options.gen,
+                inject=options.inject or "none",
+            ))
+        failures.append(failure)
+
+    return FuzzSummary(
+        cases=len(results),
+        failures=failures,
+        cache_hits=sum(1 for r in results if r.get("cache_hit")),
+        duration_s=time.perf_counter() - start,
+        saved=saved,
+    )
+
+
+def replay_corpus(
+    corpus_dir: str | Path,
+    *,
+    simulate: bool = True,
+    metamorphic: bool = True,
+) -> FuzzSummary:
+    """Re-check every ``.loop`` file in a corpus directory.
+
+    Replays run *without* any injected mutation — a corpus entry is a
+    regression reproducer for a bug that is fixed (or a deliberately
+    interesting passing case), so the expectation is zero violations.
+    The manifest's ``inject`` field only records provenance.
+    """
+    start = time.perf_counter()
+    corpus = sorted(Path(corpus_dir).glob("*.loop"))
+    failures: list[dict] = []
+    for path in corpus:
+        try:
+            loop = parse_loop(path.read_text(encoding="utf-8"))
+        except Exception as exc:  # noqa: BLE001 - unreadable corpus entry
+            failures.append({
+                "name": path.stem,
+                "ok": False,
+                "violations": [{
+                    "oracle": "corpus",
+                    "detail": f"failed to parse {path.name}: {exc}",
+                    "code": "",
+                }],
+            })
+            continue
+        report = check_loop(loop, simulate=simulate, metamorphic=metamorphic)
+        if not report.ok:
+            entry = report.to_dict()
+            entry["corpus_file"] = str(path)
+            failures.append(entry)
+    return FuzzSummary(
+        cases=len(corpus),
+        failures=failures,
+        duration_s=time.perf_counter() - start,
+    )

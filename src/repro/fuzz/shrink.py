@@ -1,0 +1,151 @@
+"""Greedy test-case reduction for failing fuzz cases.
+
+Given a loop that fails some oracle, the shrinker repeatedly tries
+smaller variants — dropping one instruction, clearing hints, dropping
+live-outs or no-alias assertions, lowering the trip count — and keeps a
+variant whenever it still fails the *same* oracle.  Every candidate is
+round-tripped through the textual dialect
+(``parse_loop(loop_to_source(...))``), which guarantees two properties
+of the final reproducer: it is a valid loop (the parser re-validates),
+and it can be persisted verbatim to the regression corpus as a ``.loop``
+file.  Variants that no longer parse or validate are simply skipped.
+
+The reduction is first-improvement greedy to a fixpoint: each round
+scans all single-step edits and restarts on the first one that keeps the
+verdict.  That is O(rounds * edits * oracle-cost) with no backtracking —
+the classical delta-debugging trade-off that works well here because the
+generator's loops are small (tens of operations) to begin with.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Iterator
+
+from repro.errors import IRError, ParseError
+from repro.fuzz.oracles import CaseReport
+from repro.ir.loop import Loop, TripCountInfo
+from repro.ir.memref import LatencyHint
+from repro.ir.parser import parse_loop
+from repro.ir.printer import loop_to_source
+
+#: trip-count values tried during reduction, smallest first
+_TRIP_LADDER = (3.0, 8.0, 50.0)
+
+
+def _size(loop: Loop) -> tuple:
+    """Lexicographic size metric: smaller is simpler."""
+    hints = sum(
+        1 for ref in loop.memrefs if ref.hint is not LatencyHint.NONE
+    )
+    return (
+        len(loop.body),
+        len(loop.memrefs),
+        len(loop.independent_spaces),
+        hints,
+        len(loop.live_out),
+        loop.trip_count.estimate or 0.0,
+    )
+
+
+def _normalise(loop: Loop) -> Loop | None:
+    """Round-trip through the dialect; ``None`` when invalid."""
+    try:
+        return parse_loop(loop_to_source(loop))
+    except (ParseError, IRError):
+        return None
+
+
+def _prune_live_out(loop: Loop) -> None:
+    defined = {reg for inst in loop.body for reg in inst.all_defs()}
+    loop.live_out = {reg for reg in loop.live_out if reg in defined}
+
+
+def _candidates(loop: Loop) -> Iterator[Loop]:
+    """All single-step reductions of ``loop``, simplest-looking first."""
+    # drop one instruction (later drops first: they tend to be dead ends
+    # like stores and accumulators, so more likely to keep the verdict)
+    for i in reversed(range(len(loop.body))):
+        cand = copy.deepcopy(loop)
+        del cand.body[i]
+        if not cand.body:
+            continue
+        _prune_live_out(cand)
+        yield cand
+
+    # drop a no-alias assertion (widens dependence edges: still failing
+    # means the assertion was not load-bearing)
+    for space in sorted(loop.independent_spaces):
+        cand = copy.deepcopy(loop)
+        cand.independent_spaces = frozenset(
+            s for s in cand.independent_spaces if s != space
+        )
+        yield cand
+
+    # clear all hints at once, then one at a time
+    hinted = [
+        ref.name for ref in loop.memrefs if ref.hint is not LatencyHint.NONE
+    ]
+    scopes = ([None] if len(hinted) > 1 else []) + [[n] for n in hinted]
+    for scope in scopes:
+        cand = copy.deepcopy(loop)
+        for ref in cand.memrefs:
+            if scope is None or ref.name in scope:
+                ref.hint = LatencyHint.NONE
+                ref.hint_source = ""
+        yield cand
+
+    # drop one live-out
+    for reg in sorted(loop.live_out, key=lambda r: (r.rclass.value, r.index)):
+        cand = copy.deepcopy(loop)
+        cand.live_out = {r for r in cand.live_out if r != reg}
+        yield cand
+
+    # lower the trip count
+    estimate = loop.trip_count.estimate
+    for trips in _TRIP_LADDER:
+        if estimate is not None and trips < estimate:
+            cand = copy.deepcopy(loop)
+            cand.trip_count = TripCountInfo(
+                estimate=trips,
+                source=loop.trip_count.source,
+                max_trips=None,
+                contiguous_across_outer=False,
+            )
+            yield cand
+
+
+def shrink_loop(
+    loop: Loop,
+    check: Callable[[Loop], CaseReport],
+    target_oracle: str | None = None,
+    max_rounds: int = 25,
+) -> tuple[Loop, CaseReport]:
+    """Reduce ``loop`` while it keeps failing ``target_oracle``.
+
+    ``check`` runs the oracles over a candidate (typically a partial
+    application of :func:`repro.fuzz.oracles.check_loop`).  When
+    ``target_oracle`` is ``None`` it is taken from the first failing
+    oracle of the initial report.  Returns the smallest loop found and
+    its report; if the input does not fail at all it is returned as-is.
+    """
+    current = _normalise(loop) or loop
+    report = check(current)
+    if report.ok:
+        return current, report
+    target = target_oracle or report.oracles_failed[0]
+
+    for _ in range(max_rounds):
+        improved = False
+        for raw in _candidates(current):
+            cand = _normalise(raw)
+            if cand is None or _size(cand) >= _size(current):
+                continue
+            cand_report = check(cand)
+            if target in cand_report.oracles_failed:
+                current, report = cand, cand_report
+                improved = True
+                break
+        if not improved:
+            break
+    return current, report

@@ -106,3 +106,48 @@ class ArtifactCache:
         if not self.root.is_dir():
             return 0
         return sum(1 for _ in self.root.glob("*/*.json"))
+
+    # --- maintenance -----------------------------------------------------
+    def entries(self) -> list[tuple[str, float]]:
+        """All stored ``(key, mtime)`` pairs, oldest first.
+
+        Keys are recovered from the file names (they are content hashes,
+        so the name *is* the key); in-flight temporaries are excluded.
+        """
+        if not self.root.is_dir():
+            return []
+        found: list[tuple[str, float]] = []
+        for path in self.root.glob("*/*.json"):
+            if path.name.startswith(".tmp-"):
+                continue
+            try:
+                found.append((path.stem, path.stat().st_mtime))
+            except OSError:  # racing eviction from another process
+                continue
+        found.sort(key=lambda kv: (kv[1], kv[0]))
+        return found
+
+    def delete(self, key: str) -> bool:
+        """Drop one entry; ``True`` when something was removed."""
+        try:
+            os.unlink(self.path_for(key))
+            return True
+        except OSError:
+            return False
+
+    def prune(self, max_entries: int) -> int:
+        """Evict oldest entries until at most ``max_entries`` remain.
+
+        Long-running fuzzing campaigns write one entry per case, so an
+        unbounded cache directory grows forever; callers bound it with a
+        periodic prune.  Returns the number of entries removed.  Safe
+        under concurrent writers: eviction races count as already-gone.
+        """
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        stored = self.entries()
+        removed = 0
+        for key, _mtime in stored[: max(0, len(stored) - max_entries)]:
+            if self.delete(key):
+                removed += 1
+        return removed

@@ -69,6 +69,25 @@ class ManifestComparison:
     def matched_cells(self) -> int:
         return sum(len(deltas) for deltas in self.deltas.values())
 
+    def regressions(self, tolerance_percent: float = 0.0) -> dict[str, float]:
+        """Configs whose geomean got *slower* in run B, beyond a tolerance.
+
+        Returns ``{config: geomean_delta_percent}`` for every config whose
+        geomean gain is below ``-tolerance_percent`` — the gate behind
+        ``repro compare --fail-on-regression``, with the tolerance
+        absorbing sub-threshold noise so CI does not flap.
+        """
+        if tolerance_percent < 0:
+            raise ValueError(
+                f"tolerance must be >= 0, got {tolerance_percent}"
+            )
+        return {
+            config: gain
+            for config in self.deltas
+            for gain in [self.geomean(config)]
+            if gain < -tolerance_percent
+        }
+
 
 def compare_manifests(a: RunManifest, b: RunManifest) -> ManifestComparison:
     """Pair the cells of ``a`` and ``b`` on (benchmark, config)."""

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import functools
 import multiprocessing
 import os
 import time
@@ -39,6 +40,51 @@ def _execute(job: BenchmarkJob, cache_root: str | None) -> JobOutcome:
     return run_job(job, cache)
 
 
+def run_tasks(
+    fn,
+    payloads: list,
+    *,
+    workers: int = 1,
+    timeout: float | None = None,
+    labels: list[str] | None = None,
+):
+    """Map ``fn`` over ``payloads``, returning results in submission order.
+
+    The generic engine under :func:`run_jobs` and the fuzzing campaign
+    driver: ``workers <= 1`` runs serially in-process; otherwise a forked
+    process pool executes ``fn(payload)`` calls concurrently.  ``fn`` must
+    be picklable (a module-level callable or :func:`functools.partial` of
+    one), and so must every payload and result.  ``timeout`` bounds the
+    wait for any single result, in seconds; ``labels`` name the tasks in
+    the timeout error.
+    """
+    if workers <= 1:
+        return [fn(payload) for payload in payloads]
+
+    # fork keeps workers cheap and inherits sys.path; fall back to the
+    # platform default where fork is unavailable (e.g. Windows)
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context()
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers, mp_context=context
+    ) as pool:
+        futures = [pool.submit(fn, payload) for payload in payloads]
+        results = []
+        for i, future in enumerate(futures):
+            try:
+                results.append(future.result(timeout=timeout))
+            except concurrent.futures.TimeoutError:
+                for pending in futures:
+                    pending.cancel()
+                label = labels[i] if labels else f"task {i}"
+                raise HarnessError(
+                    f"{label} exceeded the {timeout}s timeout"
+                ) from None
+        return results
+
+
 def run_jobs(
     jobs: list[BenchmarkJob],
     *,
@@ -61,28 +107,13 @@ def run_jobs(
         for job in jobs:
             outcomes.append(run_job(job, cache_obj))
         return outcomes
-
-    # fork keeps workers cheap and inherits sys.path; fall back to the
-    # platform default where fork is unavailable (e.g. Windows)
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        context = multiprocessing.get_context()
-    with concurrent.futures.ProcessPoolExecutor(
-        max_workers=workers, mp_context=context
-    ) as pool:
-        futures = [pool.submit(_execute, job, cache_root) for job in jobs]
-        outcomes = []
-        for job, future in zip(jobs, futures):
-            try:
-                outcomes.append(future.result(timeout=timeout))
-            except concurrent.futures.TimeoutError:
-                for pending in futures:
-                    pending.cancel()
-                raise HarnessError(
-                    f"job {job.key} exceeded the {timeout}s timeout"
-                ) from None
-        return outcomes
+    return run_tasks(
+        functools.partial(_execute, cache_root=cache_root),
+        jobs,
+        workers=workers,
+        timeout=timeout,
+        labels=[f"job {job.key}" for job in jobs],
+    )
 
 
 def _normalise_cache(

@@ -26,7 +26,13 @@ from repro.ir.instructions import Instruction
 from repro.ir.loop import Loop, TripCountInfo, TripCountSource
 from repro.ir.builder import LoopBuilder
 from repro.ir.parser import parse_loop
-from repro.ir.printer import format_instruction, format_loop
+from repro.ir.printer import (
+    format_instruction,
+    format_loop,
+    instruction_to_source,
+    loop_to_source,
+    memref_to_source,
+)
 from repro.ir.validate import validate_loop
 
 __all__ = [
@@ -51,5 +57,8 @@ __all__ = [
     "parse_loop",
     "format_instruction",
     "format_loop",
+    "instruction_to_source",
+    "loop_to_source",
+    "memref_to_source",
     "validate_loop",
 ]

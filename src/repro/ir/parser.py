@@ -14,17 +14,22 @@ examples.  Example::
 Register tokens ``rN``/``fN``/``pN`` denote *virtual* registers.  Memory
 instructions reference declared memrefs with ``!NAME``.  A ``(pN)`` prefix
 sets the qualifying predicate.  Live-ins are inferred (anything used before
-being defined).
+being defined); a ``live_in`` directive can add further registers, and
+``live_out`` / ``independent`` directives carry liveness and no-alias
+metadata.  Memref declarations accept ``offset=``, ``hint=l2`` and
+``hint_source=`` attributes; the loop header accepts ``counted=0`` and
+``contig=1``.  :func:`repro.ir.printer.loop_to_source` emits exactly this
+dialect, so printing and re-parsing a loop is an identity.
 """
 
 from __future__ import annotations
 
 import re
 
-from repro.errors import ParseError
+from repro.errors import IRError, ParseError
 from repro.ir.instructions import Instruction
 from repro.ir.loop import Loop, TripCountInfo, TripCountSource
-from repro.ir.memref import AccessPattern, MemRef
+from repro.ir.memref import AccessPattern, LatencyHint, MemRef
 from repro.ir.opcodes import OPCODES
 from repro.ir.registers import Reg, RegClass
 from repro.ir.validate import validate_loop
@@ -58,6 +63,21 @@ def _parse_operand(token: str, line_no: int) -> Reg | int:
         return int(token, 0)
     except ValueError:
         raise ParseError(f"expected register or immediate, got {token!r}", line_no)
+
+
+def _parse_int(text: str, line_no: int, what: str) -> int:
+    """``int(text, 0)`` with a :class:`ParseError` instead of ValueError."""
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise ParseError(f"invalid {what} {text!r}", line_no) from None
+
+
+def _parse_float(text: str, line_no: int, what: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise ParseError(f"invalid {what} {text!r}", line_no) from None
 
 
 def _split_kv(tokens: list[str], line_no: int) -> tuple[list[str], dict[str, str]]:
@@ -95,15 +115,29 @@ def _parse_memref(
         if index_name not in refs:
             raise ParseError(f"unknown index memref {index_name!r}", line_no)
         index_ref = refs[index_name]
+    hint = LatencyHint.NONE
+    if "hint" in kv:
+        try:
+            hint = LatencyHint[kv["hint"].upper()]
+        except KeyError:
+            raise ParseError(
+                f"unknown latency hint {kv['hint']!r}", line_no
+            ) from None
     try:
         ref = MemRef(
             name=name,
             pattern=pattern,
-            stride=int(kv["stride"]) if "stride" in kv else None,
-            size=int(kv.get("size", "4")),
+            stride=(
+                _parse_int(kv["stride"], line_no, "stride")
+                if "stride" in kv else None
+            ),
+            size=_parse_int(kv.get("size", "4"), line_no, "size"),
+            offset=_parse_int(kv.get("offset", "0"), line_no, "offset"),
             is_fp=is_fp,
             space=kv.get("space", ""),
             index_ref=index_ref,
+            hint=hint,
+            hint_source=kv.get("hint_source", ""),
         )
     except ValueError as exc:
         raise ParseError(str(exc), line_no)
@@ -152,7 +186,7 @@ def _parse_instruction(
             raise ParseError(f"load needs a [addr] operand: {text!r}", line_no)
         addr = _parse_reg(mem_m.group(1), line_no)
         if len(rhs_tokens) > 1:
-            post_inc = int(rhs_tokens[1], 0)
+            post_inc = _parse_int(rhs_tokens[1], line_no, "post-increment")
         return Instruction(
             op,
             defs=(dest,),
@@ -171,7 +205,7 @@ def _parse_instruction(
             raise ParseError(f"store needs a value: {text!r}", line_no)
         value = _parse_reg(rhs_tokens[0], line_no)
         if len(rhs_tokens) > 1:
-            post_inc = int(rhs_tokens[1], 0)
+            post_inc = _parse_int(rhs_tokens[1], line_no, "post-increment")
         return Instruction(
             op,
             defs=(),
@@ -187,7 +221,7 @@ def _parse_instruction(
             raise ParseError(f"lfetch needs a [addr] operand: {text!r}", line_no)
         addr = _parse_reg(mem_m.group(1), line_no)
         if len(tokens) > 1:
-            post_inc = int(tokens[1], 0)
+            post_inc = _parse_int(tokens[1], line_no, "post-increment")
         return Instruction(
             op,
             defs=(),
@@ -198,6 +232,11 @@ def _parse_instruction(
         )
 
     # plain register operation: "op d = s1, s2[, imm]" or "op s1, s2"
+    if memref is not None:
+        raise ParseError(
+            f"memref annotation !{memref.name} on non-memory op "
+            f"{mnemonic!r}", line_no
+        )
     defs: tuple[Reg, ...] = ()
     if eq:
         defs = tuple(_parse_reg(t, line_no) for t in split_commas(lhs))
@@ -225,6 +264,11 @@ def parse_loop(text: str) -> Loop:
     trips: float | None = None
     source = TripCountSource.PGO
     max_trips: int | None = None
+    counted = True
+    contiguous = False
+    declared_live_in: set[Reg] = set()
+    live_out: set[Reg] = set()
+    independent: set[str] = set()
 
     for line_no, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
@@ -242,9 +286,13 @@ def parse_loop(text: str) -> Loop:
             name = tokens[1]
             _, kv = _split_kv(tokens[2:], line_no)
             if "trips" in kv:
-                trips = float(kv["trips"])
+                trips = _parse_float(kv["trips"], line_no, "trip count")
             if "max_trips" in kv:
-                max_trips = int(kv["max_trips"])
+                max_trips = _parse_int(kv["max_trips"], line_no, "max_trips")
+            if "counted" in kv:
+                counted = bool(_parse_int(kv["counted"], line_no, "counted"))
+            if "contig" in kv:
+                contiguous = bool(_parse_int(kv["contig"], line_no, "contig"))
             if "source" in kv:
                 try:
                     source = TripCountSource(kv["source"])
@@ -252,17 +300,30 @@ def parse_loop(text: str) -> Loop:
                     raise ParseError(
                         f"unknown trip-count source {kv['source']!r}", line_no
                     )
+        elif tokens[0] == "live_in":
+            declared_live_in.update(
+                _parse_reg(t, line_no) for t in tokens[1:]
+            )
+        elif tokens[0] == "live_out":
+            live_out.update(_parse_reg(t, line_no) for t in tokens[1:])
+        elif tokens[0] == "independent":
+            independent.update(tokens[1:])
         else:
             if name is None:
                 raise ParseError("instruction before loop header", line_no)
-            body.append(_parse_instruction(line, refs, line_no))
+            try:
+                body.append(_parse_instruction(line, refs, line_no))
+            except IRError as exc:
+                # e.g. a memory op without a !REF annotation, or a !REF on
+                # a non-memory op: report as a parse error, not a crash
+                raise ParseError(str(exc), line_no) from None
 
     if name is None:
         raise ParseError("no loop header found")
     if not body:
         raise ParseError(f"loop {name!r} has no instructions")
 
-    live_in: set[Reg] = set()
+    live_in: set[Reg] = set(declared_live_in)
     defined: set[Reg] = set()
     for inst in body:
         for reg in inst.all_uses():
@@ -274,7 +335,16 @@ def parse_loop(text: str) -> Loop:
         estimate=trips,
         source=source if trips is not None else TripCountSource.UNKNOWN,
         max_trips=max_trips,
+        contiguous_across_outer=contiguous,
     )
-    loop = Loop(name=name, body=body, live_in=live_in, trip_count=info)
+    loop = Loop(
+        name=name,
+        body=body,
+        live_in=live_in,
+        live_out=live_out,
+        trip_count=info,
+        counted=counted,
+        independent_spaces=frozenset(independent),
+    )
     validate_loop(loop)
     return loop

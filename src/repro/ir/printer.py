@@ -1,9 +1,22 @@
-"""Disassembly-style formatting of instructions and loops."""
+"""Disassembly-style formatting of instructions and loops.
+
+Two renderers live here:
+
+* :func:`format_instruction` / :func:`format_loop` — human-oriented dumps
+  (virtual registers keep their ``vr4`` debug names);
+* :func:`loop_to_source` — the *parseable* renderer: it emits the textual
+  dialect of :func:`repro.ir.parser.parse_loop`, so
+  ``parse_loop(loop_to_source(loop))`` reconstructs the loop.  This is the
+  on-disk format of the fuzzing regression corpus (``tests/corpus/``).
+"""
 
 from __future__ import annotations
 
+from repro.errors import IRError
 from repro.ir.instructions import Instruction
 from repro.ir.loop import Loop
+from repro.ir.memref import AccessPattern, LatencyHint, MemRef
+from repro.ir.registers import Reg
 
 
 def format_instruction(inst: Instruction) -> str:
@@ -58,3 +71,134 @@ def format_loop(loop: Loop) -> str:
     for inst in loop.body:
         lines.append(f"  {format_instruction(inst)}")
     return "\n".join(lines)
+
+
+# --- parseable source rendering ------------------------------------------
+
+_PATTERN_TOKENS = {
+    AccessPattern.AFFINE: "affine",
+    AccessPattern.SYMBOLIC_STRIDE: "symbolic",
+    AccessPattern.INDIRECT: "indirect",
+    AccessPattern.POINTER_CHASE: "chase",
+    AccessPattern.INVARIANT: "invariant",
+}
+
+
+def _source_reg(reg: Reg) -> str:
+    """Render a register as a parser token (``r4``/``f2``/``p1``)."""
+    if not reg.virtual:
+        raise IRError(
+            f"cannot render physical register {reg.name} in source form"
+        )
+    return f"{reg.rclass.value}{reg.index}"
+
+
+def memref_to_source(ref: MemRef) -> str:
+    """One ``memref`` declaration line of the textual dialect."""
+    parts = ["memref", ref.name, _PATTERN_TOKENS[ref.pattern]]
+    if ref.is_fp:
+        parts.append("fp")
+    if ref.stride is not None:
+        parts.append(f"stride={ref.stride}")
+    parts.append(f"size={ref.size}")
+    if ref.offset:
+        parts.append(f"offset={ref.offset}")
+    if ref.space != ref.name:
+        parts.append(f"space={ref.space}")
+    if ref.index_ref is not None:
+        parts.append(f"index={ref.index_ref.name}")
+    if ref.hint is not LatencyHint.NONE:
+        parts.append(f"hint={ref.hint.name.lower()}")
+    if ref.hint_source:
+        parts.append(f"hint_source={ref.hint_source}")
+    return " ".join(parts)
+
+
+def instruction_to_source(inst: Instruction) -> str:
+    """Render one instruction as a parseable dialect line."""
+    parts: list[str] = []
+    if inst.qual_pred is not None:
+        parts.append(f"({_source_reg(inst.qual_pred)})")
+    op = inst.opcode
+
+    if op.is_load or op.is_prefetch:
+        addr = _source_reg(inst.uses[0])
+        mem = f"[{addr}]"
+        if inst.post_increment is not None:
+            mem += f", {inst.post_increment}"
+        if op.is_prefetch:
+            parts.append(f"{op.mnemonic} {mem}")
+        else:
+            parts.append(f"{op.mnemonic} {_source_reg(inst.defs[0])} = {mem}")
+    elif op.is_store:
+        addr = _source_reg(inst.uses[0])
+        rhs = _source_reg(inst.uses[1])
+        if inst.post_increment is not None:
+            rhs += f", {inst.post_increment}"
+        parts.append(f"{op.mnemonic} [{addr}] = {rhs}")
+    else:
+        srcs = [_source_reg(u) for u in inst.uses]
+        if inst.imm is not None:
+            srcs.append(str(inst.imm))
+        lhs = ", ".join(_source_reg(d) for d in inst.defs)
+        if lhs:
+            parts.append(f"{op.mnemonic} {lhs} = {', '.join(srcs)}")
+        elif srcs:
+            parts.append(f"{op.mnemonic} {', '.join(srcs)}")
+        else:
+            parts.append(op.mnemonic)
+    if inst.memref is not None:
+        parts.append(f"!{inst.memref.name}")
+    return " ".join(parts)
+
+
+def loop_to_source(loop: Loop) -> str:
+    """Render ``loop`` in the textual dialect of ``parse_loop``.
+
+    The output round-trips: parsing it reconstructs an equivalent loop
+    (same body, memref descriptions, trip-count info, liveness and
+    aliasing metadata).  Index references are emitted before the
+    references that use them, matching the parser's declaration order
+    requirement.
+    """
+    lines: list[str] = []
+    emitted: set[int] = set()
+
+    def emit_ref(ref: MemRef) -> None:
+        if ref.uid in emitted:
+            return
+        if ref.index_ref is not None:
+            emit_ref(ref.index_ref)
+        emitted.add(ref.uid)
+        lines.append(memref_to_source(ref))
+
+    for ref in loop.memrefs:
+        emit_ref(ref)
+    if lines:
+        lines.append("")
+
+    trips = loop.trip_count
+    header = ["loop", loop.name]
+    if trips.estimate is not None:
+        header.append(f"trips={trips.estimate:g}")
+        header.append(f"source={trips.source.value}")
+    if trips.max_trips is not None:
+        header.append(f"max_trips={trips.max_trips}")
+    if trips.contiguous_across_outer:
+        header.append("contig=1")
+    if not loop.counted:
+        header.append("counted=0")
+    lines.append(" ".join(header))
+
+    for inst in loop.body:
+        lines.append(f"  {instruction_to_source(inst)}")
+
+    if loop.live_in:
+        regs = sorted(loop.live_in, key=lambda r: (r.rclass.value, r.index))
+        lines.append("live_in " + " ".join(_source_reg(r) for r in regs))
+    if loop.live_out:
+        regs = sorted(loop.live_out, key=lambda r: (r.rclass.value, r.index))
+        lines.append("live_out " + " ".join(_source_reg(r) for r in regs))
+    if loop.independent_spaces:
+        lines.append("independent " + " ".join(sorted(loop.independent_spaces)))
+    return "\n".join(lines) + "\n"

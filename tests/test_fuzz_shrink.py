@@ -1,0 +1,80 @@
+"""The shrinker: verdict-preserving, corpus-expressible, monotone."""
+
+from repro.fuzz.gen import generate_loop
+from repro.fuzz.oracles import CaseReport, Violation, check_loop
+from repro.fuzz.shrink import _size, shrink_loop
+from repro.ir import parse_loop
+from repro.ir.memref import LatencyHint
+from repro.ir.printer import loop_to_source
+
+
+class TestShrink:
+    def test_passing_loop_returned_unchanged(self):
+        loop = generate_loop(0)
+        shrunk, report = shrink_loop(loop, lambda l: check_loop(l))
+        assert report.ok
+        assert len(shrunk.body) == len(loop.body)
+
+    def test_synthetic_verdict_shrinks_to_the_witness(self):
+        """An oracle that only cares about one opcode lets everything
+        else shrink away."""
+
+        def has_fma(loop):
+            report = CaseReport(name=loop.name)
+            if any(inst.mnemonic == "fma" for inst in loop.body):
+                report.violations.append(Violation("fma-present", "witness"))
+            return report
+
+        witness_seed = next(
+            seed for seed in range(100)
+            if any(i.mnemonic == "fma" for i in generate_loop(seed).body)
+        )
+        loop = generate_loop(witness_seed)
+        shrunk, report = shrink_loop(loop, has_fma)
+        assert "fma-present" in report.oracles_failed
+        assert len(shrunk.body) < len(loop.body)
+        # greedy fixpoint: nothing droppable remains around the witness
+        assert any(i.mnemonic == "fma" for i in shrunk.body)
+        assert len(shrunk.body) <= 4
+
+    def test_shrunk_loop_is_corpus_expressible(self):
+        def always_fails(loop):
+            report = CaseReport(name=loop.name)
+            report.violations.append(Violation("synthetic", "always"))
+            return report
+
+        loop = generate_loop(11)
+        shrunk, _ = shrink_loop(loop, always_fails)
+        # minimal under the synthetic oracle: a single instruction...
+        assert len(shrunk.body) == 1
+        # ...and still a round-trip-stable dialect program
+        source = loop_to_source(shrunk)
+        assert loop_to_source(parse_loop(source)) == source
+
+    def test_size_metric_orders_hint_clearing(self):
+        loop = generate_loop(4)
+        hinted = _size(loop)
+        for ref in loop.memrefs:
+            ref.hint = LatencyHint.NONE
+            ref.hint_source = ""
+        assert _size(loop) < hinted
+
+    def test_target_oracle_is_respected(self):
+        """A candidate that trades the target violation for a different
+        one is rejected."""
+        calls = []
+
+        def flaky(loop):
+            calls.append(len(loop.body))
+            report = CaseReport(name=loop.name)
+            if len(loop.body) >= 3:
+                report.violations.append(Violation("target", "big"))
+            else:
+                report.violations.append(Violation("other", "small"))
+            return report
+
+        loop = generate_loop(8)
+        assert len(loop.body) >= 3
+        shrunk, report = shrink_loop(loop, flaky, target_oracle="target")
+        assert len(shrunk.body) == 3
+        assert report.oracles_failed == ["target"]

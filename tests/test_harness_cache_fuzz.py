@@ -1,0 +1,137 @@
+"""Harness-cache behaviour under fuzz workloads, plus the new
+maintenance APIs (entries / delete / prune) and the generic task pool.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import HarnessError
+from repro.fuzz.gen import GenConfig
+from repro.fuzz.oracles import ORACLE_VERSION
+from repro.fuzz.runner import case_key
+from repro.harness.cache import ArtifactCache, hash_key
+from repro.harness.pool import run_tasks
+
+
+class TestFuzzCaseKeys:
+    """The verdict cache must never replay a stale verdict."""
+
+    def test_key_includes_seed(self):
+        gen = GenConfig()
+        assert case_key(1, gen, "none") != case_key(2, gen, "none")
+
+    def test_key_includes_generator_config(self):
+        assert case_key(1, GenConfig(), "none") != case_key(
+            1, GenConfig(max_ops=6), "none"
+        )
+
+    def test_key_includes_injection_mode(self):
+        gen = GenConfig()
+        assert case_key(1, gen, "none") != case_key(1, gen, "drop-edge")
+
+    def test_key_includes_oracle_version(self):
+        """Bumping ORACLE_VERSION must invalidate every cached verdict."""
+        gen = GenConfig()
+        material = {
+            "kind": "fuzz-case",
+            "seed": 1,
+            "gen": gen.to_dict(),
+            "oracle_version": ORACLE_VERSION + 1,
+            "machine": "itanium2",
+            "inject": "none",
+        }
+        assert hash_key(material) != case_key(1, gen, "none")
+
+
+class TestCorruptionRecovery:
+    def test_corrupt_entry_is_a_miss_and_heals(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = case_key(1, GenConfig(), "none")
+        cache.put(key, {"ok": True})
+        path = cache.path_for(key)
+        path.write_text("{ truncated", encoding="utf-8")
+        assert cache.get(key) is None
+        cache.put(key, {"ok": False})
+        assert cache.get(key) == {"ok": False}
+
+    def test_wrong_version_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = case_key(2, GenConfig(), "none")
+        cache.put(key, {"ok": True})
+        path = cache.path_for(key)
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        assert cache.get(key) is None
+
+
+class TestMaintenance:
+    def _fill(self, cache, n):
+        keys = []
+        for i in range(n):
+            key = hash_key({"i": i})
+            cache.put(key, {"i": i})
+            # spread mtimes so eviction order is deterministic
+            os.utime(cache.path_for(key), (1_000_000 + i, 1_000_000 + i))
+            keys.append(key)
+        return keys
+
+    def test_entries_oldest_first(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        keys = self._fill(cache, 5)
+        assert [k for k, _ in cache.entries()] == keys
+
+    def test_delete(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        (key,) = self._fill(cache, 1)
+        assert cache.delete(key)
+        assert cache.get(key) is None
+        assert not cache.delete(key)
+
+    def test_prune_evicts_oldest(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        keys = self._fill(cache, 6)
+        removed = cache.prune(max_entries=2)
+        assert removed == 4
+        assert len(cache) == 2
+        # the two newest survive
+        assert cache.get(keys[-1]) == {"i": 5}
+        assert cache.get(keys[-2]) == {"i": 4}
+        assert cache.get(keys[0]) is None
+
+    def test_prune_noop_under_limit(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        self._fill(cache, 2)
+        assert cache.prune(max_entries=10) == 0
+        assert len(cache) == 2
+
+    def test_prune_rejects_negative(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtifactCache(tmp_path).prune(-1)
+
+
+def _square(x):
+    return x * x
+
+
+def _maybe_sleep(x):
+    import time
+
+    time.sleep(x)
+    return x
+
+
+class TestRunTasks:
+    def test_serial_order(self):
+        assert run_tasks(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_parallel_order(self):
+        assert run_tasks(_square, list(range(10)), workers=4) == [
+            x * x for x in range(10)
+        ]
+
+    def test_timeout_raises(self):
+        with pytest.raises(HarnessError, match="timeout"):
+            run_tasks(_maybe_sleep, [5.0], workers=2, timeout=0.05)

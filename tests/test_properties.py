@@ -7,13 +7,19 @@ must hold for *any* loop the pipeline accepts:
 * kernel renaming is consistent: every use reads the register its
   producer's rotated definition lands in;
 * the simulator never finishes a loop faster than its nominal issue time;
-* compiling the same loop twice is deterministic.
+* compiling the same loop twice is deterministic;
+* MinDist path weights are monotone under latency boosting, and acyclic
+  slack is a well-formed non-negative quantity with a tight minimum.
 """
 
+import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.config import CompilerConfig, baseline_config
 from repro.ddg.edges import DepKind
+from repro.ddg.graph import build_ddg
+from repro.ddg.mindist import NO_PATH, mindist_matrix
+from repro.ddg.slack import acyclic_slacks
 from repro.ir import LoopBuilder
 from repro.ir.memref import LatencyHint
 from repro.ir.registers import RegClass
@@ -114,6 +120,73 @@ class TestAllocationInvariants:
             return
         preds = {op.stage_pred for op in result.kernel.ops}
         assert all(16 <= p < 16 + result.stats.stage_count for p in preds)
+
+
+class TestDependenceProperties:
+    """Sec. 1/3.3 analytics: MinDist and slack over arbitrary loops."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(pipelinable_loops(), st.integers(2, 12))
+    def test_mindist_monotone_under_latency_boost(self, loop, ii):
+        """Boosting load latencies never shortens any dependence path.
+
+        Per-edge weights are non-decreasing when every flow edge resolves
+        at the expected (hinted) latency instead of the base one, so the
+        Floyd-Warshall longest paths are non-decreasing too — the formal
+        reason a boosted schedule can only *stretch* (Sec. 3.3), never
+        relax, a constraint.  ``check=False`` tolerates the boosted
+        Recurrence II exceeding ``ii``.
+        """
+        machine = ItaniumMachine()
+        ddg = build_ddg(loop)
+        query = machine.latency_query
+        base = mindist_matrix(ddg, ii, query, check=False)
+        boosted = mindist_matrix(
+            ddg, ii, query, expected=lambda edge: True, check=False
+        )
+        # reachability is a property of the edges, not the latencies
+        assert ((base == NO_PATH) == (boosted == NO_PATH)).all()
+        reachable = base != NO_PATH
+        assert (boosted[reachable] >= base[reachable]).all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(pipelinable_loops())
+    def test_acyclic_slack_nonnegative_with_tight_minimum(self, loop):
+        """Slack is >= 0 everywhere and some critical op has zero slack.
+
+        Slack is the latest-minus-earliest placement gap within the
+        acyclic critical path; a negative value would mean Lstart <
+        Estart (an infeasible window), and a loop where *every* op had
+        positive slack would contradict the critical path being critical
+        (Sec. 1: non-critical loads are the ones with slack to spend).
+        """
+        machine = ItaniumMachine()
+        ddg = build_ddg(loop)
+        slacks = acyclic_slacks(ddg, machine.latency_query)
+        assert slacks, "non-empty loop must yield slacks"
+        assert all(s >= 0 for s in slacks.values())
+        assert min(slacks.values()) == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(pipelinable_loops())
+    def test_schedule_respects_mindist(self, loop):
+        """Any schedule the driver accepts satisfies the MinDist bound:
+        ``t(j) - t(i) >= mindist[i][j]`` for every reachable pair."""
+        machine = ItaniumMachine()
+        result = pipeline_loop(loop, machine, CFG)
+        if not result.pipelined:
+            return
+        schedule = result.schedule
+        dist = mindist_matrix(
+            result.ddg, schedule.ii, machine.latency_query, check=False
+        )
+        times = {i.index: t for i, t in schedule.times.items()}
+        n = len(result.ddg.nodes)
+        for i in range(n):
+            for j in range(n):
+                if dist[i, j] == NO_PATH:
+                    continue
+                assert times[j] - times[i] >= dist[i, j]
 
 
 class TestExecutionInvariants:
