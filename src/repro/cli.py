@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Nine subcommands::
+Twelve subcommands::
 
     python -m repro compile loop.s --policy hlo        # kernel + stats
     python -m repro simulate loop.s --trips 2000 --invocations 3 \\
@@ -18,6 +18,10 @@ Nine subcommands::
     python -m repro fuzz --cases 200 --seed 0 --jobs 4 # oracle fuzzing
     python -m repro fuzz --replay tests/corpus         # corpus replay
     python -m repro fig5                               # the theory curves
+    python -m repro serve --workers 4                  # the job server
+    python -m repro submit bench --json '{"suite": "micro"}' --wait 600
+    python -m repro status                             # server counters
+    python -m repro status JOB_ID --wait 60            # one job record
 
 ``compile``, ``experiment`` and ``bench`` additionally take ``--verify``,
 which runs the :mod:`repro.analysis` translation validator over every
@@ -528,6 +532,164 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if summary.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import ServerConfig, serve
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        job_timeout=args.job_timeout,
+        cache_dir=args.cache_dir,
+        runs_dir=args.runs_dir,
+        max_entries=args.max_entries,
+        log_path=args.log,
+        drain_timeout=args.drain_timeout,
+    )
+    try:
+        asyncio.run(serve(config))
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        pass
+    return 0
+
+
+def _submit_spec(args: argparse.Namespace) -> dict:
+    """The request body from --json / --file / --loop, merged."""
+    import json
+
+    spec: dict = {}
+    if args.file:
+        spec.update(json.loads(open(args.file).read()))
+    if args.json:
+        spec.update(json.loads(args.json))
+    if args.loop:
+        spec["loop"] = open(args.loop).read()
+    return spec
+
+
+def _render_result(kind: str, result: dict) -> None:
+    """A compact human rendering of one completed job result."""
+    if kind == "bench":
+        print(result["summary"])
+        print(f"fingerprint: {result['fingerprint']}")
+        for label, gains in result.get("gains", {}).items():
+            if gains:
+                mean = sum(gains.values()) / len(gains)
+                print(f"  {label}: mean gain {mean:+.1f}% "
+                      f"over {len(gains)} benchmark(s)")
+    elif kind == "fuzz":
+        status = "OK" if result["ok"] else \
+            f"{len(result.get('failures', []))} FAILED"
+        print(f"fuzzed {result['cases']} case(s): {status}")
+    elif kind in ("simulate", "trace"):
+        print(result["summary"])
+        print(f"cycles: {result['cycles']:,.0f} "
+              f"({result['cycles_per_iteration']:.2f}/iteration)")
+        if kind == "trace":
+            accounting = "OK" if result["ok"] else "FAILED"
+            print(f"events: {result['events']:,}, accounting {accounting}")
+    else:  # compile
+        print(result["summary"])
+        verification = result.get("verification")
+        if verification is not None:
+            print(f"verification: {'OK' if verification['ok'] else 'FAILED'}")
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url)
+    spec = _submit_spec(args)
+
+    if "jobs" in spec:  # batch file: {"jobs": [{"kind": ..., ...}, ...]}
+        responses = client.submit_batch(spec["jobs"])
+        for response in responses:
+            job = response["job"]
+            note = " (deduped)" if response["deduped"] else \
+                " (served from store)" if response["served_from_store"] else ""
+            print(f"{job['id'][:16]}  {job['status']:<8} "
+                  f"{job['label']}{note}")
+        return 0
+
+    if not args.kind:
+        print("error: submit needs a job KIND (or a --file with 'jobs')",
+              file=sys.stderr)
+        return 2
+    response = client.submit(args.kind, **spec)
+    job = response["job"]
+    note = " (deduped)" if response["deduped"] else \
+        " (served from store)" if response["served_from_store"] else ""
+    print(f"job {job['id']}")
+    print(f"status: {job['status']}{note}")
+    if args.no_wait:
+        return 0
+    record = client.wait(job["id"], timeout=args.wait)
+    if record["status"] != "done":
+        print(f"job {record['status']}: {record.get('error')}",
+              file=sys.stderr)
+        return 1
+    print(f"finished in {record['duration_s']:.2f}s")
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(
+            json.dumps(record["result"], indent=2) + "\n"
+        )
+        print(f"result: {args.output}")
+    _render_result(args.kind, record["result"])
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.job_id:
+        if args.wait:
+            record = client.wait(args.job_id, timeout=args.wait)
+        else:
+            record = client.job(args.job_id)
+        print(json.dumps(record, indent=2))
+        return 0 if record["status"] in ("queued", "running", "done") else 1
+    if args.jobs:
+        listing = client.jobs()
+        for job in listing["jobs"]:
+            cached = " cached" if job["cached"] else ""
+            dedup = f" dedup={job['dedup_hits']}" if job["dedup_hits"] else ""
+            print(f"{job['id'][:16]}  {job['status']:<8} "
+                  f"{job['label']}{cached}{dedup}")
+        print(f"{len(listing['jobs'])} job(s), {listing['pending']} pending")
+        return 0
+    if args.cache:
+        print(json.dumps(client.cache_stats(), indent=2))
+        return 0
+    if args.runs:
+        for run in client.runs():
+            print(f"{run['run_id']}  {run['suite']} seed={run['seed']} "
+                  f"cells={run['cells']}  {run['fingerprint'][:16]}")
+        return 0
+    stats = client.stats()
+    jobs = stats["jobs"]
+    store = stats["store"]
+    print(f"service at {client.base_url}: up {stats['uptime_s']:.0f}s, "
+          f"{stats['workers']} worker(s), {stats['pending']} pending")
+    print(f"jobs: {jobs['submitted']} submitted, {jobs['executed']} executed, "
+          f"{jobs['served_from_store']} from store, {jobs['deduped']} deduped")
+    print(f"      {jobs['rejected']} rejected, {jobs['timeouts']} timeout(s), "
+          f"{jobs['errors']} error(s)")
+    print(f"store: {store['entries']} entries, {store['bytes']:,} bytes, "
+          f"{store['hits']} hit(s) / {store['misses']} miss(es), "
+          f"{store['evictions']} eviction(s)")
+    return 0
+
+
 def cmd_fig5(args: argparse.Namespace) -> int:
     from repro.core.theory import fig5_series
 
@@ -716,6 +878,85 @@ def build_parser() -> argparse.ArgumentParser:
                         help="re-check every .loop file in a corpus "
                              "directory instead of generating new cases")
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the repro job server (async HTTP front-end + worker pool)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8437,
+                         help="TCP port (default: 8437; 0 picks a free one)")
+    p_serve.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="worker processes (default: 2)")
+    p_serve.add_argument("--queue-limit", type=int, default=64, metavar="N",
+                         help="pending jobs before submits get 429 "
+                              "(default: 64)")
+    p_serve.add_argument("--job-timeout", type=float, default=600.0,
+                         metavar="SECONDS",
+                         help="per-job execution timeout (default: 600)")
+    p_serve.add_argument("--cache-dir", default=".repro-service/store",
+                         metavar="PATH",
+                         help="shared artifact store directory "
+                              "(default: .repro-service/store)")
+    p_serve.add_argument("--runs-dir", default=".repro-service/runs",
+                         metavar="PATH",
+                         help="bench manifest directory "
+                              "(default: .repro-service/runs)")
+    p_serve.add_argument("--max-entries", type=int, default=65536, metavar="N",
+                         help="artifact store size bound (default: 65536)")
+    p_serve.add_argument("--log", metavar="PATH",
+                         help="JSON-lines request log (default: stderr)")
+    p_serve.add_argument("--drain-timeout", type=float, default=60.0,
+                         metavar="SECONDS",
+                         help="shutdown drain budget (default: 60)")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit a job (or a batch) to a running repro server",
+    )
+    p_submit.add_argument("kind", nargs="?",
+                          choices=["compile", "simulate", "trace",
+                                   "fuzz", "bench"],
+                          help="job kind (omit when --file is a batch)")
+    p_submit.add_argument("--url", default="http://127.0.0.1:8437",
+                          help="server base URL "
+                               "(default: http://127.0.0.1:8437)")
+    p_submit.add_argument("--json", metavar="JSON",
+                          help="request fields as an inline JSON object")
+    p_submit.add_argument("--file", metavar="PATH",
+                          help="request fields from a JSON file; a top-level "
+                               "'jobs' list submits a batch")
+    p_submit.add_argument("--loop", metavar="LOOP_FILE",
+                          help="read this loop file into the request")
+    p_submit.add_argument("--wait", type=float, default=600.0,
+                          metavar="SECONDS",
+                          help="wait this long for completion (default: 600)")
+    p_submit.add_argument("--no-wait", action="store_true",
+                          help="print the job id and return immediately")
+    p_submit.add_argument("--output", metavar="PATH",
+                          help="write the full result JSON here")
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_status = sub.add_parser(
+        "status",
+        help="query a running repro server (stats, jobs, store, runs)",
+    )
+    p_status.add_argument("job_id", nargs="?",
+                          help="job id (or unique >= 8-char prefix)")
+    p_status.add_argument("--url", default="http://127.0.0.1:8437",
+                          help="server base URL "
+                               "(default: http://127.0.0.1:8437)")
+    p_status.add_argument("--wait", type=float, default=None,
+                          metavar="SECONDS",
+                          help="with a job id: wait for completion")
+    p_status.add_argument("--jobs", action="store_true",
+                          help="list all job records")
+    p_status.add_argument("--cache", action="store_true",
+                          help="print artifact-store stats")
+    p_status.add_argument("--runs", action="store_true",
+                          help="list completed bench runs")
+    p_status.set_defaults(func=cmd_status)
 
     p_fig5 = sub.add_parser("fig5", help="print the Fig. 5 theory curves")
     p_fig5.add_argument("--max-k", type=int, default=8)

@@ -56,3 +56,16 @@ class ConfigError(ReproError):
 
 class HarnessError(ReproError):
     """The experiment harness failed (job timeout, bad manifest, ...)."""
+
+
+class ServiceError(ReproError):
+    """A repro-as-a-service failure: invalid request, overload, transport.
+
+    ``status`` carries the HTTP status code when the error crossed the
+    wire (400 for a malformed request, 404 for an unknown job, 429 for
+    backpressure, ...); it is ``None`` for purely local failures.
+    """
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        self.status = status
+        super().__init__(message)

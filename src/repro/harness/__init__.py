@@ -2,11 +2,12 @@
 
 The harness decomposes a suite experiment into pure, picklable
 (benchmark, config) jobs (:mod:`repro.harness.jobs`), schedules them over
-a process pool (:mod:`repro.harness.pool`), memoises compile+simulate
-outcomes in an on-disk content-addressed cache
-(:mod:`repro.harness.cache`), records every run in a JSON manifest
-(:mod:`repro.harness.manifest`), and diffs manifests
-(:mod:`repro.harness.compare`).
+a supervised process pool (:mod:`repro.harness.workers` driven by
+:mod:`repro.harness.pool`), memoises compile+simulate outcomes in an
+on-disk content-addressed cache (:mod:`repro.harness.cache`), records
+every run in a JSON manifest (:mod:`repro.harness.manifest`), and diffs
+manifests (:mod:`repro.harness.compare`).  The repro service
+(:mod:`repro.service`) is built on the same pieces.
 
 Typical use::
 
@@ -35,6 +36,14 @@ from repro.harness.compare import (
     format_comparison,
 )
 from repro.harness.pool import SuiteRun, compare_configs, run_jobs, run_suite
+from repro.harness.workers import (
+    TASK_ERROR,
+    TASK_OK,
+    TASK_TIMEOUT,
+    TaskResult,
+    WorkerPool,
+    run_supervised,
+)
 
 __all__ = [
     "ArtifactCache",
@@ -57,4 +66,10 @@ __all__ = [
     "compare_configs",
     "run_jobs",
     "run_suite",
+    "TASK_ERROR",
+    "TASK_OK",
+    "TASK_TIMEOUT",
+    "TaskResult",
+    "WorkerPool",
+    "run_supervised",
 ]

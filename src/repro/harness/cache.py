@@ -10,14 +10,25 @@ bit-identical cycles and counters — so serving the second from disk is
 behaviour-preserving, and repeated sweeps cost one JSON read per cell.
 
 Entries are JSON files under ``root/<k[:2]>/<k>.json``.  Writes go through
-a temporary file plus :func:`os.replace`, so concurrent pool workers can
-share one cache directory without torn reads.
+a temporary file plus :func:`os.replace`, so concurrent pool workers — or
+the :mod:`repro.service` front-end and its whole worker fleet — can share
+one cache directory without torn reads.  A corrupt or truncated entry
+(e.g. a crash mid-``fsync`` on a less forgiving filesystem) is treated as
+a miss, deleted, and logged, so one bad file can never wedge a shared
+store.  Passing ``max_entries`` bounds the directory: the oldest entries
+are evicted automatically as writes go past the limit, which is what lets
+a long-running service treat the cache as an artifact *store* rather than
+an append-only log.  :meth:`ArtifactCache.verify` audits every entry and
+:meth:`ArtifactCache.stats_snapshot` exposes the hit/miss/eviction
+counters — the two maintenance calls behind the service's
+``/v1/cache/verify`` and ``/v1/cache/stats`` endpoints.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from dataclasses import dataclass
@@ -25,6 +36,8 @@ from pathlib import Path
 
 #: bump when the payload layout or key material changes incompatibly
 CACHE_FORMAT_VERSION = 1
+
+_log = logging.getLogger("repro.harness.cache")
 
 
 def hash_key(material: dict) -> str:
@@ -37,10 +50,15 @@ def hash_key(material: dict) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counts observed by one :class:`ArtifactCache` instance."""
+    """Hit/miss/eviction counts observed by one :class:`ArtifactCache`."""
 
     hits: int = 0
     misses: int = 0
+    puts: int = 0
+    #: corrupt or truncated entries discarded on ``get``
+    corrupt: int = 0
+    #: entries removed by ``prune`` (explicit or the ``max_entries`` bound)
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -50,13 +68,36 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "corrupt": self.corrupt,
+            "evictions": self.evictions,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+        }
+
 
 class ArtifactCache:
-    """A directory of content-addressed JSON artifacts."""
+    """A directory of content-addressed JSON artifacts.
 
-    def __init__(self, root: str | Path) -> None:
+    ``max_entries`` (optional) turns the cache into a size-bounded store:
+    once writes push the entry count past the bound, the oldest entries
+    are evicted (checked every few puts, so a burst can transiently
+    overshoot by the check interval).
+    """
+
+    def __init__(
+        self, root: str | Path, *, max_entries: int | None = None
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.root = Path(root)
+        self.max_entries = max_entries
         self.stats = CacheStats()
+        self._puts_since_bound_check = 0
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -64,14 +105,24 @@ class ArtifactCache:
     def get(self, key: str) -> dict | None:
         """The payload stored under ``key``, or ``None`` on a miss.
 
-        A corrupt or partially-written file counts as a miss; the entry
-        will simply be recomputed and rewritten.
+        A corrupt or truncated file counts as a miss *and is deleted* (a
+        shared store must not serve — or keep re-parsing — a half-written
+        entry forever); a missing file or a format-version mismatch is a
+        plain miss and the entry is recomputed and rewritten.
         """
         path = self.path_for(key)
         try:
             with open(path, encoding="utf-8") as fh:
                 payload = json.load(fh)
-        except (OSError, json.JSONDecodeError):
+        except OSError:
+            self.stats.misses += 1
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._discard_corrupt(path, "undecodable JSON")
+            self.stats.misses += 1
+            return None
+        if not isinstance(payload, dict) or "data" not in payload:
+            self._discard_corrupt(path, "missing payload envelope")
             self.stats.misses += 1
             return None
         if payload.get("version") != CACHE_FORMAT_VERSION:
@@ -80,8 +131,24 @@ class ArtifactCache:
         self.stats.hits += 1
         return payload["data"]
 
+    def _discard_corrupt(self, path: Path, reason: str) -> None:
+        self.stats.corrupt += 1
+        try:
+            os.unlink(path)
+            _log.warning("discarded corrupt cache entry %s (%s)", path, reason)
+        except OSError:  # another reader already discarded it
+            _log.warning("corrupt cache entry %s (%s); already gone", path,
+                         reason)
+
     def put(self, key: str, data: dict) -> None:
-        """Store ``data`` under ``key`` (atomic, last writer wins)."""
+        """Store ``data`` under ``key`` (atomic, last writer wins).
+
+        The payload is staged in a temporary file inside the cache root
+        and moved into place with :func:`os.replace`, so any number of
+        concurrent writers — pool workers, service workers, the service
+        front-end — produce either the old complete entry or the new
+        complete entry, never a torn one.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"version": CACHE_FORMAT_VERSION, "key": key, "data": data}
@@ -98,6 +165,23 @@ class ArtifactCache:
             except OSError:
                 pass
             raise
+        self.stats.puts += 1
+        self._enforce_bound()
+
+    def _enforce_bound(self) -> None:
+        """Evict the oldest entries when writes exceed ``max_entries``.
+
+        The (linear) directory scan runs every few puts, not on each one,
+        so a write-heavy sweep amortises the bound check.
+        """
+        if self.max_entries is None:
+            return
+        self._puts_since_bound_check += 1
+        interval = max(1, min(64, self.max_entries // 4))
+        if self._puts_since_bound_check < interval:
+            return
+        self._puts_since_bound_check = 0
+        self.prune(self.max_entries)
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).is_file()
@@ -150,4 +234,88 @@ class ArtifactCache:
         for key, _mtime in stored[: max(0, len(stored) - max_entries)]:
             if self.delete(key):
                 removed += 1
+        self.stats.evictions += removed
         return removed
+
+    def total_bytes(self) -> int:
+        """Disk footprint of all stored entries (temporaries excluded)."""
+        if not self.root.is_dir():
+            return 0
+        total = 0
+        for path in self.root.glob("*/*.json"):
+            if path.name.startswith(".tmp-"):
+                continue
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def stats_snapshot(self) -> dict:
+        """The ``stats`` maintenance view: counters plus store footprint.
+
+        Counters are per-instance (this handle's lookups); ``entries`` and
+        ``bytes`` reflect the shared on-disk state.
+        """
+        snapshot = self.stats.as_dict()
+        snapshot.update({
+            "root": str(self.root),
+            "entries": len(self),
+            "bytes": self.total_bytes(),
+            "max_entries": self.max_entries,
+        })
+        return snapshot
+
+    def verify(self, *, delete: bool = False) -> dict:
+        """Audit every entry: decodable, right version, key matches name.
+
+        Returns a report ``{"checked", "ok", "corrupt": [keys],
+        "stale": [keys], "mismatched": [keys], "deleted"}`` where
+        *corrupt* entries do not decode (or lack the payload envelope),
+        *stale* ones carry a different :data:`CACHE_FORMAT_VERSION`, and
+        *mismatched* ones embed a key that disagrees with their file name
+        (an artifact copied to the wrong address).  With ``delete=True``
+        every flagged entry is removed.
+        """
+        report = {
+            "checked": 0,
+            "ok": 0,
+            "corrupt": [],
+            "stale": [],
+            "mismatched": [],
+            "deleted": 0,
+        }
+        if not self.root.is_dir():
+            return report
+        for path in sorted(self.root.glob("*/*.json")):
+            if path.name.startswith(".tmp-"):
+                continue
+            report["checked"] += 1
+            bucket = None
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    payload = json.load(fh)
+            except OSError:  # racing eviction
+                report["checked"] -= 1
+                continue
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                bucket = "corrupt"
+                payload = None
+            if bucket is None:
+                if not isinstance(payload, dict) or "data" not in payload:
+                    bucket = "corrupt"
+                elif payload.get("version") != CACHE_FORMAT_VERSION:
+                    bucket = "stale"
+                elif payload.get("key") != path.stem:
+                    bucket = "mismatched"
+            if bucket is None:
+                report["ok"] += 1
+                continue
+            report[bucket].append(path.stem)
+            if delete:
+                try:
+                    os.unlink(path)
+                    report["deleted"] += 1
+                except OSError:
+                    pass
+        return report

@@ -90,12 +90,24 @@ class ManifestComparison:
 
 
 def compare_manifests(a: RunManifest, b: RunManifest) -> ManifestComparison:
-    """Pair the cells of ``a`` and ``b`` on (benchmark, config)."""
-    index_b = {(cell.benchmark, cell.config): cell for cell in b.cells}
+    """Pair the cells of ``a`` and ``b`` on (benchmark, config).
+
+    Cells that did not complete (``status != "ok"``, e.g. a reaped
+    timeout) carry no meaningful cycles and are excluded from matching on
+    both sides — a half-run sweep can still be compared over the cells
+    that finished.
+    """
+    index_b = {
+        (cell.benchmark, cell.config): cell
+        for cell in b.cells
+        if cell.status == "ok"
+    }
     deltas: dict[str, list[CellDelta]] = {}
     matched: set[tuple[str, str]] = set()
     only_in_a: list[tuple[str, str]] = []
     for cell in a.cells:
+        if cell.status != "ok":
+            continue
         key = (cell.benchmark, cell.config)
         other = index_b.get(key)
         if other is None:
@@ -111,7 +123,8 @@ def compare_manifests(a: RunManifest, b: RunManifest) -> ManifestComparison:
     only_in_b = [
         (cell.benchmark, cell.config)
         for cell in b.cells
-        if (cell.benchmark, cell.config) not in matched
+        if cell.status == "ok"
+        and (cell.benchmark, cell.config) not in matched
     ]
     return ManifestComparison(
         run_a=a.run_id,

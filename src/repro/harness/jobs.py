@@ -80,9 +80,15 @@ class LoopRunOutcome:
 
 @dataclasses.dataclass
 class JobOutcome:
-    """A finished job: the result plus provenance for the run manifest."""
+    """A finished job: the result plus provenance for the run manifest.
 
-    result: BenchmarkResult
+    ``status`` is ``"ok"`` for a completed job; a job whose worker was
+    reaped at its deadline comes back as ``status="timeout"`` with
+    ``result=None`` (see :func:`repro.harness.pool.run_jobs`), so the
+    rest of the sweep can complete and the manifest records the loss.
+    """
+
+    result: BenchmarkResult | None
     #: True when both loop runs (config + baseline anchor) came from cache
     cache_hit: bool
     duration_s: float
@@ -90,6 +96,8 @@ class JobOutcome:
     verification: dict | None = None
     #: stall-attribution summary of the variant run (None: not asked)
     trace: dict | None = None
+    #: "ok" or "timeout"
+    status: str = "ok"
 
 
 def _stable(text: str) -> int:

@@ -65,6 +65,10 @@ class CellRecord:
     #: compact repro.trace summary (see ``trace_summary``) when the cell
     #: ran with ``--trace``; None keeps pre-trace manifests loading
     trace: dict | None = None
+    #: "ok", or "timeout" when the job's worker was reaped at its
+    #: deadline (cycle fields are 0.0 and meaningless); the default keeps
+    #: pre-status manifests loading through ``CellRecord(**cell)``
+    status: str = "ok"
 
 
 @dataclasses.dataclass
@@ -116,6 +120,10 @@ class RunManifest:
     def cache_hit_rate(self) -> float:
         return self.cache_hits / len(self.cells) if self.cells else 0.0
 
+    @property
+    def timeouts(self) -> int:
+        return sum(1 for cell in self.cells if cell.status == "timeout")
+
     def cell(self, benchmark: str, config: str) -> CellRecord:
         for record in self.cells:
             if record.benchmark == benchmark and record.config == config:
@@ -161,6 +169,40 @@ class RunManifest:
             raise HarnessError(f"cannot read manifest {path}: {exc}") from exc
         return RunManifest.from_dict(data)
 
+    def fingerprint(self) -> str:
+        """Content digest of what the run *computed*.
+
+        Covers the suite, seed, config set and every cell's cycle totals
+        and status — and deliberately excludes provenance that varies
+        between otherwise-identical runs (run id, timestamps, git sha,
+        worker count, wall time, cache hit flags, durations).  Two runs
+        of the same suite agree on this digest iff they produced
+        bit-identical cycles, which is how the service proves an
+        HTTP-submitted sweep matches a local one.
+        """
+        from repro.harness.cache import hash_key
+
+        material = {
+            "suite": self.suite,
+            "seed": self.seed,
+            "configs": sorted(self.configs),
+            "cells": [
+                {
+                    "benchmark": cell.benchmark,
+                    "suite": cell.suite,
+                    "config": cell.config,
+                    "total_cycles": cell.total_cycles,
+                    "loop_cycles": cell.loop_cycles,
+                    "serial_cycles": cell.serial_cycles,
+                    "status": cell.status,
+                }
+                for cell in sorted(
+                    self.cells, key=lambda c: (c.benchmark, c.config)
+                )
+            ],
+        }
+        return hash_key(material)
+
     # --- verification accounting --------------------------------------------
     @property
     def verified_cells(self) -> int:
@@ -191,6 +233,8 @@ class RunManifest:
             f"cache {self.cache_hits}/{len(self.cells)} hits "
             f"({100 * self.cache_hit_rate:.0f}%), "
         )
+        if self.timeouts:
+            text += f"{self.timeouts} timeout(s), "
         if self.verified_cells:
             text += (
                 f"verified {self.verified_cells}/{len(self.cells)} cells "

@@ -1,9 +1,12 @@
-"""The job scheduler: a process pool with deterministic result ordering.
+"""The job scheduler: supervised workers with deterministic ordering.
 
 ``run_jobs`` executes :class:`~repro.harness.jobs.BenchmarkJob` values
-either in-process (``workers <= 1``) or on a ``ProcessPoolExecutor``;
-results always come back in submission order regardless of completion
-order, so a parallel sweep is a drop-in replacement for the serial loop.
+either in-process (``workers <= 1``) or on a supervised
+:class:`~repro.harness.workers.WorkerPool`; results always come back in
+submission order regardless of completion order, so a parallel sweep is a
+drop-in replacement for the serial loop.  A job that exceeds its timeout
+has its worker terminated and replaced, and comes back as a structured
+``timeout`` outcome — the rest of the sweep completes normally.
 ``run_suite`` is the high-level entry: a (benchmarks x configs) grid run
 through the pool and the artifact cache, returning results plus a
 :class:`~repro.harness.manifest.RunManifest`.
@@ -11,10 +14,8 @@ through the pool and the artifact cache, returning results plus a
 
 from __future__ import annotations
 
-import concurrent.futures
 import dataclasses
 import functools
-import multiprocessing
 import os
 import time
 from pathlib import Path
@@ -25,6 +26,7 @@ from repro.errors import HarnessError
 from repro.harness.cache import ArtifactCache
 from repro.harness.jobs import BenchmarkJob, JobOutcome, run_job
 from repro.harness.manifest import CellRecord, RunManifest, default_runs_dir
+from repro.harness.workers import TASK_OK, TASK_TIMEOUT, run_supervised
 from repro.machine.itanium2 import ItaniumMachine
 from repro.workloads.spec import Benchmark
 
@@ -51,38 +53,34 @@ def run_tasks(
     """Map ``fn`` over ``payloads``, returning results in submission order.
 
     The generic engine under :func:`run_jobs` and the fuzzing campaign
-    driver: ``workers <= 1`` runs serially in-process; otherwise a forked
-    process pool executes ``fn(payload)`` calls concurrently.  ``fn`` must
-    be picklable (a module-level callable or :func:`functools.partial` of
-    one), and so must every payload and result.  ``timeout`` bounds the
-    wait for any single result, in seconds; ``labels`` name the tasks in
-    the timeout error.
+    driver: ``workers <= 1`` runs serially in-process; otherwise a
+    supervised pool of forked workers executes ``fn(payload)`` calls
+    concurrently.  ``fn`` must be picklable (a module-level callable or
+    :func:`functools.partial` of one), and so must every payload and
+    result.  ``timeout`` bounds any single task's *execution*, in
+    seconds; the offending worker is reaped, the whole batch still runs
+    to completion, and the timeout is raised afterwards as a
+    :class:`HarnessError` naming the task (``labels`` supply the names).
+    Callers that want timeouts *recorded* instead of raised use
+    :func:`~repro.harness.workers.run_supervised` directly, as
+    :func:`run_jobs` does.
     """
     if workers <= 1:
         return [fn(payload) for payload in payloads]
-
-    # fork keeps workers cheap and inherits sys.path; fall back to the
-    # platform default where fork is unavailable (e.g. Windows)
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        context = multiprocessing.get_context()
-    with concurrent.futures.ProcessPoolExecutor(
-        max_workers=workers, mp_context=context
-    ) as pool:
-        futures = [pool.submit(fn, payload) for payload in payloads]
-        results = []
-        for i, future in enumerate(futures):
-            try:
-                results.append(future.result(timeout=timeout))
-            except concurrent.futures.TimeoutError:
-                for pending in futures:
-                    pending.cancel()
-                label = labels[i] if labels else f"task {i}"
-                raise HarnessError(
-                    f"{label} exceeded the {timeout}s timeout"
-                ) from None
-        return results
+    results = run_supervised(fn, payloads, workers=workers, timeout=timeout)
+    values = []
+    for i, result in enumerate(results):
+        if result.status == TASK_TIMEOUT:
+            label = labels[i] if labels else f"task {i}"
+            raise HarnessError(
+                f"{label} exceeded the {timeout}s timeout"
+            ) from None
+        if result.status != TASK_OK:
+            if result.exception is not None:
+                raise result.exception
+            raise HarnessError(result.error or f"task {i} failed")
+        values.append(result.value)
+    return values
 
 
 def run_jobs(
@@ -95,11 +93,15 @@ def run_jobs(
     """Execute ``jobs``, returning outcomes in submission order.
 
     ``workers <= 1`` runs serially in-process (sharing the caller's cache
-    handle, so its hit/miss stats stay live).  Otherwise a process pool of
-    ``workers`` executes jobs concurrently; workers share the cache
-    *directory* (writes are atomic), and hit/miss provenance comes back in
-    each :class:`JobOutcome`.  ``timeout`` bounds the wait for any single
-    job's result, in seconds.
+    handle, so its hit/miss stats stay live).  Otherwise a supervised
+    pool of ``workers`` executes jobs concurrently; workers share the
+    cache *directory* (writes are atomic), and hit/miss provenance comes
+    back in each :class:`JobOutcome`.  ``timeout`` bounds any single
+    job's execution, in seconds: a job that exceeds it has its worker
+    terminated and reaped, and comes back as a
+    ``JobOutcome(status="timeout", result=None)`` while every other job
+    completes — the manifest records the timeout instead of the sweep
+    aborting.  Worker crashes and job exceptions still raise.
     """
     cache_obj, cache_root = _normalise_cache(cache)
     if workers <= 1:
@@ -107,13 +109,30 @@ def run_jobs(
         for job in jobs:
             outcomes.append(run_job(job, cache_obj))
         return outcomes
-    return run_tasks(
+    results = run_supervised(
         functools.partial(_execute, cache_root=cache_root),
         jobs,
         workers=workers,
         timeout=timeout,
-        labels=[f"job {job.key}" for job in jobs],
     )
+    outcomes = []
+    for job, result in zip(jobs, results):
+        if result.status == TASK_OK:
+            outcomes.append(result.value)
+        elif result.status == TASK_TIMEOUT:
+            outcomes.append(JobOutcome(
+                result=None,
+                cache_hit=False,
+                duration_s=result.duration_s,
+                status="timeout",
+            ))
+        else:
+            if result.exception is not None:
+                raise result.exception
+            raise HarnessError(
+                f"job {job.key} failed: {result.error or 'unknown error'}"
+            )
+    return outcomes
 
 
 def _normalise_cache(
@@ -194,6 +213,19 @@ def run_suite(
     cells: list[CellRecord] = []
     for job, outcome in zip(jobs, outcomes):
         result = outcome.result
+        if result is None:  # timed out: record the cell, skip the results
+            cells.append(CellRecord(
+                benchmark=job.benchmark.name,
+                suite=job.benchmark.suite,
+                config=job.config.label,
+                total_cycles=0.0,
+                loop_cycles=0.0,
+                serial_cycles=0.0,
+                cache_hit=False,
+                duration_s=outcome.duration_s,
+                status=outcome.status,
+            ))
+            continue
         results[job.config.label][job.benchmark.name] = result
         verification = outcome.verification or {}
         cells.append(CellRecord(
@@ -227,12 +259,17 @@ def run_suite(
 def compare_configs(
     run: SuiteRun, baseline_label: str, variant_label: str
 ) -> ExperimentResult:
-    """Baseline-vs-variant gains out of one grid run."""
+    """Baseline-vs-variant gains out of one grid run.
+
+    Benchmarks missing from either side (e.g. a timed-out cell) are
+    skipped rather than raising, mirroring manifest comparison.
+    """
     base = run.config(baseline_label)
     var = run.config(variant_label)
     gains = {
         name: percent_gain(base[name].total_cycles, var[name].total_cycles)
         for name in base
+        if name in var
     }
     return ExperimentResult(
         baseline_label=baseline_label,

@@ -1,0 +1,54 @@
+"""repro-as-a-service: an async job server over the repro pipeline.
+
+The service turns the local harness into a shared resource: jobs arrive
+as JSON over HTTP, are canonicalised to the same content addresses the
+harness cache uses, deduplicated against in-flight and stored work, and
+fanned out to a supervised worker pool.  Because the whole pipeline is
+deterministic, a result computed once — by anyone, over HTTP or via the
+local CLI against the same store — is the result, forever.
+
+Layering: ``protocol`` (schema → canonical form → content key),
+``jobs`` (worker-side execution on the existing pipeline), ``store``
+(the shared artifact store), ``server`` (asyncio HTTP front-end, dedup,
+backpressure, drain), ``client`` (stdlib HTTP client), ``log``
+(JSON-lines request log).
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.jobs import execute_request
+from repro.service.log import RequestLog
+from repro.service.protocol import (
+    JOB_KINDS,
+    SCHEMA_VERSION,
+    describe_request,
+    normalize_request,
+    request_key,
+)
+from repro.service.server import (
+    DEFAULT_PORT,
+    ReproService,
+    ServerConfig,
+    ServiceHandle,
+    serve,
+    serve_in_thread,
+)
+from repro.service.store import RESULT_KIND, ArtifactStore
+
+__all__ = [
+    "DEFAULT_PORT",
+    "JOB_KINDS",
+    "RESULT_KIND",
+    "SCHEMA_VERSION",
+    "ArtifactStore",
+    "ReproService",
+    "RequestLog",
+    "ServerConfig",
+    "ServiceClient",
+    "ServiceHandle",
+    "describe_request",
+    "execute_request",
+    "normalize_request",
+    "request_key",
+    "serve",
+    "serve_in_thread",
+]

@@ -1,0 +1,69 @@
+"""Structured request/event log: one JSON object per line.
+
+The service appends a line per HTTP request (method, path, status,
+latency, request key when one was derived) and per lifecycle event
+(startup, job completion, shutdown), so a running server is observable
+with ``tail -f`` + ``jq`` and machine-parsable in CI.  Lines go to a file
+when the server was started with ``--log``, to stderr otherwise; write
+failures are swallowed after the first warning — logging must never take
+the service down.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+
+class RequestLog:
+    """An append-only JSON-lines sink for service events."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path else None
+        self._fh = None
+        self._broken = False
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+
+    def event(self, event: str, **fields) -> None:
+        """Append one event line; never raises."""
+        if self._broken:
+            return
+        record = {
+            "ts": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "event": event,
+        }
+        record.update(fields)
+        try:
+            line = json.dumps(record, sort_keys=True, default=str)
+            if self._fh is not None:
+                self._fh.write(line + "\n")
+                self._fh.flush()
+            else:
+                print(line, file=sys.stderr)
+        except (OSError, ValueError):
+            self._broken = True
+            print("repro.service: request log broken, disabling",
+                  file=sys.stderr)
+
+    def request(self, method: str, path: str, status: int,
+                duration_s: float, **fields) -> None:
+        self.event(
+            "http",
+            method=method,
+            path=path,
+            status=status,
+            ms=round(duration_s * 1000.0, 3),
+            **fields,
+        )
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None

@@ -1,0 +1,51 @@
+"""The shared artifact store: job results addressed by request key.
+
+:class:`ArtifactStore` is the promoted :class:`~repro.harness.cache.
+ArtifactCache` (atomic writes, corrupt-entry quarantine, size bound,
+hit/miss/eviction stats, ``verify``) plus one service-level convention:
+completed job results are stored under their *request key* in an envelope
+that records the kind and canonical request they answer.  Workers and the
+front-end share one store directory — fine-grained harness entries
+(per-loop-run payloads, fuzz verdicts) and whole-job results coexist,
+each under its own content address, so a repeated ``bench`` submission is
+a single store read and a *partially* repeated one still hits every
+per-loop entry it shares with earlier traffic.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.harness.cache import ArtifactCache
+
+#: service results share the cache format but carry their own envelope
+RESULT_KIND = "service-result"
+
+
+class ArtifactStore(ArtifactCache):
+    """A content-addressed store shared by the service and its workers."""
+
+    def put_result(self, key: str, kind: str, request: dict,
+                   result: dict) -> None:
+        """Store one completed job's result under its request key."""
+        self.put(key, {
+            "envelope": RESULT_KIND,
+            "kind": kind,
+            "request": request,
+            "result": result,
+            "completed_utc": time.strftime(
+                "%Y%m%dT%H%M%SZ", time.gmtime()
+            ),
+        })
+
+    def get_result(self, key: str) -> dict | None:
+        """The stored job envelope for ``key``, or ``None``.
+
+        Entries that exist but are *not* job results (e.g. a harness
+        loop-run payload whose key collides only by misuse) are treated
+        as a miss rather than served as one.
+        """
+        payload = self.get(key)
+        if payload is None or payload.get("envelope") != RESULT_KIND:
+            return None
+        return payload

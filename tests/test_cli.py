@@ -399,3 +399,82 @@ class TestCompareDisjoint:
         out = capsys.readouterr().out
         assert "removed (only in A): 6 cell(s)" in out
         assert "overall geomean (B vs A): +0.00% over 2 matched cells" in out
+
+
+class TestServiceCommands:
+    """``repro submit`` / ``repro status`` against a live server."""
+
+    @pytest.fixture
+    def server(self, tmp_path):
+        from repro.service import ServerConfig, ServiceClient, serve_in_thread
+
+        handle = serve_in_thread(ServerConfig(
+            port=0,
+            workers=1,
+            cache_dir=str(tmp_path / "store"),
+            runs_dir=str(tmp_path / "runs"),
+            log_path=str(tmp_path / "log.jsonl"),
+        ))
+        ServiceClient(handle.url).wait_until_ready()
+        yield handle.url
+        handle.stop()
+
+    def test_submit_bench_and_status(self, server, tmp_path, capsys):
+        out_path = tmp_path / "result.json"
+        assert main([
+            "submit", "bench", "--url", server,
+            "--json", '{"suite": "micro"}',
+            "--wait", "300", "--output", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "status: queued" in out or "status: running" in out
+        assert "fingerprint: " in out
+        assert out_path.exists()
+
+        assert main(["status", "--url", server]) == 0
+        out = capsys.readouterr().out
+        assert "1 submitted, 1 executed" in out
+
+        assert main(["status", "--url", server, "--jobs"]) == 0
+        out = capsys.readouterr().out
+        assert "bench:micro:hlo" in out
+        assert "1 job(s), 0 pending" in out
+
+        assert main(["status", "--url", server, "--runs"]) == 0
+        assert "micro seed=2008" in capsys.readouterr().out
+
+    def test_submit_compile_loop_file(self, server, loop_file, capsys):
+        assert main([
+            "submit", "compile", "--url", server,
+            "--loop", loop_file, "--wait", "60",
+        ]) == 0
+        assert "II=" in capsys.readouterr().out
+
+    def test_submit_batch_file(self, server, tmp_path, capsys):
+        import json
+
+        batch = tmp_path / "batch.json"
+        batch.write_text(json.dumps({"jobs": [
+            {"kind": "bench", "suite": "micro"},
+            {"kind": "bench", "suite": "micro"},
+        ]}))
+        assert main([
+            "submit", "--url", server, "--file", str(batch),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(deduped)" in out
+
+    def test_submit_invalid_request_errors(self, server, capsys):
+        assert main([
+            "submit", "bench", "--url", server,
+            "--json", '{"suite": "micro", "workers": 4}',
+        ]) == 1
+        assert "workers" in capsys.readouterr().err
+
+    def test_submit_without_kind_or_batch_errors(self, server, capsys):
+        assert main(["submit", "--url", server]) == 2
+        assert "KIND" in capsys.readouterr().err
+
+    def test_status_unreachable_server_errors(self, capsys):
+        assert main(["status", "--url", "http://127.0.0.1:9"]) == 1
+        assert "unreachable" in capsys.readouterr().err

@@ -180,15 +180,37 @@ class TestPoolEquality:
             bench.name for bench in reversed(suite)
         ]
 
-    def test_timeout_raises_harness_error(self, tmp_path):
+    def test_timeout_is_recorded_not_raised(self, tmp_path):
+        """A job over its deadline is reaped and recorded as a structured
+        timeout outcome; the sweep itself completes instead of aborting."""
         jobs = [
             BenchmarkJob(
                 benchmark=benchmark_by_name("micro.chase"),
                 config=baseline_config(),
             )
         ]
-        with pytest.raises(HarnessError, match="timeout"):
-            run_jobs(jobs, workers=2, timeout=1e-4)
+        outcomes = run_jobs(jobs, workers=2, timeout=1e-4)
+        assert len(outcomes) == 1
+        assert outcomes[0].status == "timeout"
+        assert outcomes[0].result is None
+        assert not outcomes[0].cache_hit
+
+    def test_timed_out_cells_land_in_the_manifest(self, tmp_path):
+        run = run_suite(
+            micro_suite()[:2],
+            [baseline_config()],
+            workers=2,
+            timeout=1e-4,
+            seed=2008,
+        )
+        manifest = run.manifest
+        assert manifest.timeouts == len(manifest.cells) == 2
+        assert "2 timeout(s)" in manifest.summary()
+        for cell in manifest.cells:
+            assert cell.status == "timeout"
+            assert cell.total_cycles == 0.0
+        # timed-out cells carry no results and are skipped by compare
+        assert run.config(baseline_config().label) == {}
 
 
 # --- suite runs and the second-run hit rate ----------------------------------

@@ -1,0 +1,129 @@
+"""The service acceptance criterion: HTTP runs ≡ local runs, bit for bit.
+
+A suite submitted over HTTP must produce a manifest bit-identical (same
+content fingerprint, same cells) to a local ``repro bench`` — serial,
+parallel, and cache-hit replay — and a repeated submission must be served
+entirely from the shared artifact store with zero worker executions.
+"""
+
+import pytest
+
+from repro.config import CompilerConfig, HintPolicy, baseline_config
+from repro.harness import RunManifest, run_suite
+from repro.service import ServerConfig, ServiceClient, serve_in_thread
+from repro.workloads import micro_suite
+
+
+def local_micro_run(tmp_path, *, workers, cache=None):
+    """What ``repro bench --suite micro`` computes, as the service does."""
+    base = baseline_config(pgo=True, prefetch=True)
+    variant = CompilerConfig(
+        hint_policy=HintPolicy.HLO, trip_count_threshold=32,
+        pgo=True, prefetch=True,
+    )
+    return run_suite(
+        micro_suite(),
+        [base, variant],
+        seed=2008,
+        workers=workers,
+        cache=cache,
+        suite_name="micro",
+    )
+
+
+@pytest.fixture(scope="module")
+def http_run(tmp_path_factory):
+    """One micro suite over HTTP: (manifest dict, fingerprint, store dir)."""
+    tmp_path = tmp_path_factory.mktemp("service")
+    handle = serve_in_thread(ServerConfig(
+        port=0,
+        workers=2,
+        cache_dir=str(tmp_path / "store"),
+        runs_dir=str(tmp_path / "runs"),
+        log_path=str(tmp_path / "log.jsonl"),
+    ))
+    client = ServiceClient(handle.url)
+    client.wait_until_ready()
+    job = client.submit("bench", suite="micro")["job"]
+    record = client.wait(job["id"], timeout=300)
+    assert record["status"] == "done"
+    executed = client.stats()["jobs"]["executed"]
+    handle.stop()
+    assert executed == 1
+    return record["result"], tmp_path
+
+
+def test_http_manifest_matches_local_serial_run(http_run, tmp_path):
+    result, _service_tmp = http_run
+    local = local_micro_run(tmp_path, workers=1)
+    assert result["fingerprint"] == local.manifest.fingerprint()
+    # cell-level bit-identity, not just digest equality
+    http_manifest = RunManifest.from_dict(result["manifest"])
+    local_cells = {
+        (c.benchmark, c.config): (c.total_cycles, c.loop_cycles,
+                                  c.serial_cycles, c.status)
+        for c in local.manifest.cells
+    }
+    http_cells = {
+        (c.benchmark, c.config): (c.total_cycles, c.loop_cycles,
+                                  c.serial_cycles, c.status)
+        for c in http_manifest.cells
+    }
+    assert http_cells == local_cells
+
+
+def test_http_manifest_matches_local_parallel_run(http_run, tmp_path):
+    result, _service_tmp = http_run
+    local = local_micro_run(tmp_path, workers=2)
+    assert result["fingerprint"] == local.manifest.fingerprint()
+
+
+def test_http_manifest_matches_local_cache_hit_replay(http_run, tmp_path):
+    from repro.harness import ArtifactCache
+
+    result, _service_tmp = http_run
+    cache = ArtifactCache(tmp_path / "cache")
+    cold = local_micro_run(tmp_path, workers=1, cache=cache)
+    warm = local_micro_run(tmp_path, workers=1, cache=cache)
+    assert warm.manifest.cache_hits == len(warm.manifest.cells)
+    assert cold.manifest.fingerprint() == warm.manifest.fingerprint()
+    assert result["fingerprint"] == warm.manifest.fingerprint()
+
+
+def test_second_http_submission_is_served_without_workers(http_run):
+    result, service_tmp = http_run
+    # a fresh server over the same store: nothing left to compute
+    handle = serve_in_thread(ServerConfig(
+        port=0,
+        workers=2,
+        cache_dir=str(service_tmp / "store"),
+        runs_dir=str(service_tmp / "runs2"),
+        log_path=str(service_tmp / "log2.jsonl"),
+    ))
+    client = ServiceClient(handle.url)
+    client.wait_until_ready()
+    try:
+        replay = client.submit("bench", suite="micro")
+        assert replay["job"]["status"] == "done"
+        assert replay["job"]["cached"] is True
+        assert replay["job"]["result"]["fingerprint"] == \
+            result["fingerprint"]
+        assert replay["job"]["result"]["manifest"] == result["manifest"]
+        stats = client.stats()["jobs"]
+        assert stats["executed"] == 0  # zero worker executions
+        assert stats["served_from_store"] == 1
+    finally:
+        handle.stop()
+
+
+def test_manifest_fingerprint_ignores_provenance_only(tmp_path):
+    run_a = local_micro_run(tmp_path, workers=1)
+    manifest = run_a.manifest
+    twin = RunManifest.from_dict(manifest.to_dict())
+    twin.run_id = "different-run-id"
+    twin.started_utc = "19700101T000000Z"
+    twin.workers = 99
+    assert twin.fingerprint() == manifest.fingerprint()
+    # but the measured content does bind the digest
+    twin.cells[0].total_cycles += 1.0
+    assert twin.fingerprint() != manifest.fingerprint()

@@ -1,0 +1,169 @@
+"""Tests for the shared artifact store and the promoted cache.
+
+Covers the ISSUE satellites directly: concurrency-safe ``put`` (threads
+and processes hammering the same keys never observe torn or partial
+entries), ``get`` tolerating corrupt entries (treated as a miss, deleted,
+counted), plus the new ``stats``/``verify`` maintenance surface, the
+size bound, and the service result envelope.
+"""
+
+import concurrent.futures
+import json
+
+from repro.harness import ArtifactCache
+from repro.service import ArtifactStore
+from repro.service.store import RESULT_KIND
+
+
+# --- result envelope ----------------------------------------------------------
+
+def test_put_get_result_roundtrip(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    store.put_result("k" * 64, "bench", {"suite": "micro"}, {"answer": 42})
+    envelope = store.get_result("k" * 64)
+    assert envelope["envelope"] == RESULT_KIND
+    assert envelope["kind"] == "bench"
+    assert envelope["request"] == {"suite": "micro"}
+    assert envelope["result"] == {"answer": 42}
+    assert envelope["completed_utc"]
+
+
+def test_non_result_entries_are_not_served_as_results(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    store.put("a" * 64, {"some": "harness payload"})
+    assert store.get_result("a" * 64) is None
+    assert store.get_result("missing" * 8) is None
+
+
+# --- corrupt-entry tolerance --------------------------------------------------
+
+def _entry_path(store, key):
+    paths = [p for p in store.root.rglob("*.json") if p.stem == key]
+    assert len(paths) == 1
+    return paths[0]
+
+
+def test_corrupt_entry_is_a_miss_and_gets_deleted(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    store.put_result("b" * 64, "fuzz", {}, {"ok": True})
+    path = _entry_path(store, "b" * 64)
+    path.write_text("{ not json")
+    assert store.get("b" * 64) is None
+    assert store.stats.corrupt == 1
+    assert not path.exists()  # quarantined, so the next put can heal it
+    store.put_result("b" * 64, "fuzz", {}, {"ok": True})
+    assert store.get_result("b" * 64)["result"] == {"ok": True}
+
+
+def test_truncated_entry_is_also_tolerated(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    store.put("c" * 64, {"x": 1})
+    _entry_path(store, "c" * 64).write_bytes(b"")
+    assert store.get("c" * 64) is None
+    assert store.stats.corrupt == 1
+
+
+# --- concurrency --------------------------------------------------------------
+
+def test_concurrent_readers_and_writers_never_see_torn_entries(tmp_path):
+    store_dir = tmp_path / "store"
+    keys = [f"{i:02d}" + "e" * 62 for i in range(4)]
+    payloads = {key: {"key": key, "blob": key * 500} for key in keys}
+
+    def hammer(worker_id):
+        # every thread gets its own handle, like service workers do
+        local = ArtifactStore(store_dir)
+        seen = 0
+        for round_no in range(25):
+            key = keys[(worker_id + round_no) % len(keys)]
+            local.put(key, payloads[key])
+            got = local.get(key)
+            if got is not None:
+                assert got == payloads[key]  # never partial, never torn
+                seen += 1
+        return seen
+
+    with concurrent.futures.ThreadPoolExecutor(8) as executor:
+        totals = list(executor.map(hammer, range(8)))
+    assert all(total > 0 for total in totals)
+    final = ArtifactStore(store_dir)
+    for key in keys:
+        assert final.get(key) == payloads[key]
+
+
+# --- size bound and stats -----------------------------------------------------
+
+def test_max_entries_bound_evicts_oldest(tmp_path):
+    store = ArtifactStore(tmp_path / "store", max_entries=4)
+    for i in range(12):
+        store.put(f"{i:02d}" + "f" * 62, {"i": i})
+    assert len(store) <= 4
+    assert store.stats.evictions >= 8
+    # the newest entries survive
+    assert store.get("11" + "f" * 62) == {"i": 11}
+
+
+def test_stats_snapshot_shape(tmp_path):
+    store = ArtifactStore(tmp_path / "store", max_entries=100)
+    store.put("d" * 64, {"x": 1})
+    store.get("d" * 64)
+    store.get("absent" * 10 + "abcd")
+    snapshot = store.stats_snapshot()
+    assert snapshot["entries"] == 1
+    assert snapshot["hits"] == 1
+    assert snapshot["misses"] == 1
+    assert snapshot["puts"] == 1
+    assert snapshot["max_entries"] == 100
+    assert snapshot["bytes"] > 0
+    assert snapshot["root"] == str(store.root)
+
+
+# --- verify -------------------------------------------------------------------
+
+def test_verify_classifies_and_optionally_deletes(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    store.put("1" * 64, {"fine": True})
+    store.put("2" * 64, {"fine": True})
+    # corrupt one entry in place
+    store.path_for("2" * 64).write_text("garbage")
+    # and plant an entry whose payload key disagrees with its filename
+    good = json.loads(store.path_for("1" * 64).read_text())
+    planted = store.path_for("3" * 64)
+    planted.parent.mkdir(parents=True, exist_ok=True)
+    planted.write_text(json.dumps(good))
+
+    report = ArtifactStore(tmp_path / "store").verify()
+    assert report["checked"] == 3
+    assert report["ok"] == 1
+    assert report["corrupt"] == ["2" * 64]
+    assert report["mismatched"] == ["3" * 64]
+    assert report["deleted"] == 0
+
+    cleaned = ArtifactStore(tmp_path / "store").verify(delete=True)
+    assert cleaned["deleted"] == 2
+    survivor = ArtifactStore(tmp_path / "store")
+    assert survivor.get("1" * 64) == {"fine": True}
+    assert len(survivor) == 1
+
+
+def test_verify_flags_stale_versions_without_deleting_good_data(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    store.put("4" * 64, {"x": 1})
+    path = store.path_for("4" * 64)
+    entry = json.loads(path.read_text())
+    entry["version"] = -1
+    path.write_text(json.dumps(entry))
+    report = store.verify()
+    assert report["stale"] == ["4" * 64]
+    # stale entries are misses but not corruption: not deleted by default
+    assert store.get("4" * 64) is None
+
+
+# --- the plain cache keeps its contract ---------------------------------------
+
+def test_plain_artifact_cache_is_unbounded_by_default(tmp_path):
+    cache = ArtifactCache(tmp_path / "cache")
+    for i in range(50):
+        cache.put(f"{i:02d}" + "a" * 62, {"i": i})
+    assert len(cache) == 50
+    assert cache.stats.evictions == 0
