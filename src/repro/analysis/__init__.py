@@ -17,6 +17,13 @@ from repro.analysis.diagnostics import (
 from repro.analysis.hintcheck import verify_hints
 from repro.analysis.irlint import lint_loop
 from repro.analysis.kernelverify import verify_kernel
+from repro.analysis.perfmodel import (
+    SiteBound,
+    StaticPerfModel,
+    build_perf_model,
+    check_simulation,
+)
+from repro.analysis.pressure import max_live, verify_pressure
 from repro.analysis.schedverify import verify_schedule
 from repro.analysis.verify import (
     verification_status,
@@ -37,4 +44,10 @@ __all__ = [
     "verify_result",
     "verify_compiled",
     "verification_status",
+    "SiteBound",
+    "StaticPerfModel",
+    "build_perf_model",
+    "check_simulation",
+    "max_live",
+    "verify_pressure",
 ]

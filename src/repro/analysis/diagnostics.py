@@ -10,6 +10,9 @@ index/text).  Codes are grouped by subsystem:
 * ``SA3xx`` — kernel / rotating-register verification
   (:mod:`repro.analysis.kernelverify`)
 * ``SA4xx`` — latency-hint consistency (:mod:`repro.analysis.hintcheck`)
+* ``SA5xx`` — static performance bounds and their post-simulation
+  cross-checks (:mod:`repro.analysis.perfmodel`,
+  :mod:`repro.analysis.pressure`)
 
 The registry is the single source of truth consumed by the renderers, the
 documentation (``docs/analysis.md``) and the mutation tests, which provoke
@@ -101,6 +104,34 @@ CODES: dict[str, CodeInfo] = {
            "Sec. 3.3 latency query"),
         _c("SA404", Severity.NOTE, "non-boosted load silently stretched",
            "Sec. 2.2: stages cost registers"),
+        # --- SA5xx: static performance bounds -----------------------------
+        _c("SA501", Severity.ERROR,
+           "register pressure exceeds rotating allocation or capacity",
+           "Sec. 2.2: lifetimes spanning s stages cost s registers"),
+        _c("SA502", Severity.NOTE,
+           "OzQ occupancy not provably below capacity",
+           "Sec. 2: 48-entry OzQ saturation"),
+        _c("SA503", Severity.NOTE,
+           "zero-stall proof fails: residual latency exposable",
+           "Sec. 2.1 Equ. (2): residual (L-d)/k per load site"),
+        _c("SA511", Severity.ERROR,
+           "simulated event counts contradict the static model",
+           "Sec. 4.5: counter-based cycle accounting"),
+        _c("SA512", Severity.ERROR,
+           "fixed-cost cycle buckets contradict the static model",
+           "Sec. 4.5: BACK_END_BUBBLE decomposition"),
+        _c("SA513", Severity.ERROR,
+           "BE_EXE_BUBBLE exceeds the static residual-latency bound",
+           "Sec. 2.1 Equ. (2) / Fig. 5"),
+        _c("SA514", Severity.ERROR,
+           "OzQ counters contradict the static occupancy bound",
+           "Sec. 4.5: L2D_OZQ_FULL"),
+        _c("SA515", Severity.ERROR,
+           "simulated cycles outside the static [lower, upper] interval",
+           "Fig. 10: cycle accounting"),
+        _c("SA516", Severity.ERROR,
+           "per-site attributed stall exceeds the static residual bound",
+           "Sec. 3.1: per-load stall attribution"),
     ]
 }
 

@@ -1,0 +1,613 @@
+"""Static performance bounds: translation validation for *counters*.
+
+From a compiled loop (schedule or list-schedule fallback), the machine
+description and the hint metadata — with **no simulation** — this module
+derives per-loop invariants that every simulated run must satisfy:
+
+* **exact event-count identities** — the kernel structure fixes
+  ``kernel_iterations = n + SC - 1`` per invocation, every demand load
+  executes once per source iteration, spill/RSE/flush/front-end costs are
+  per-invocation constants (SA511/SA512);
+* **a cycle interval** — ``II x kernel_iters`` plus the fixed costs lower-
+  bounds the run, and adding the stall bounds below upper-bounds it
+  (SA515);
+* **a BE_EXE_BUBBLE bound** — Sec. 2.1's residual latency: a load
+  scheduled ``d`` cycles before its first use exposes at most
+  ``L_max - d`` stall cycles per *window* of ``k = d // II`` instances,
+  because the ``k - 1`` following instances are provably in flight when
+  an instance stalls and the stall shadows their residuals (Equ. (2),
+  Fig. 5).  Coverage ``c = 1`` (``d >= L_max``) yields a zero-stall proof
+  (SA503/SA513);
+* **an OzQ occupancy bound** — executions of one memory operation are at
+  least ``II`` cycles apart and an entry lives at most ``L_max`` cycles,
+  so at most ``ops x ceil(L_max / II)`` entries are ever in flight; below
+  the queue capacity that *proves* ``BE_L1D_FPU_BUBBLE = 0``
+  (SA502/SA514).
+
+``L_max`` is a ceiling on any single access latency: the hierarchy walk
+plus TLB-walk and pending-fill chains, plus a worst-case L2 bank backlog.
+The bank term is provable only when every demand reference's bank-arrival
+rate is known (affine stride plus the space size): a per-bank leaky-bucket
+argument bounds the backlog iff the offered occupancy
+``rho = OCC x sum(rate) / II`` stays at or below one bank-cycle per
+cycle.  Otherwise latencies are unbounded (a stride-0 store genuinely
+grows the backlog without limit) and the affected upper bounds become
+infinite — the checks are skipped, never wrong.
+
+The static model assumes the default :class:`~repro.sim.memory.MemorySystem`
+construction (default cache geometry, default TLB, bank conflicts on),
+which is what the harness, the fuzzer and the CLI build.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.ddg.edges import DepKind
+from repro.ir.memref import AccessPattern, MemRef
+from repro.machine.itanium2 import ItaniumMachine
+from repro.pipeliner.driver import PipelineResult
+from repro.pipeliner.scheduler import list_schedule
+from repro.sim.counters import PerfCounters
+from repro.sim.executor import (
+    FLUSH_CYCLES,
+    FRONTEND_CYCLES,
+    RSE_CYCLES_PER_REG,
+    SPILL_CYCLES,
+)
+from repro.sim.memory import MemorySystem
+from repro.sim.tlb import TLB
+
+#: float slack for bound comparisons — absorbs summation-order noise only
+REL_TOL = 1e-9
+ABS_TOL = 1e-6
+
+_INF = float("inf")
+
+
+def _leq(value: float, bound: float) -> bool:
+    """``value <= bound`` up to the closed-accounting float tolerances."""
+    if value <= bound:
+        return True
+    return math.isclose(value, bound, rel_tol=REL_TOL, abs_tol=ABS_TOL)
+
+
+def _eq(value: float, expect: float) -> bool:
+    return math.isclose(value, expect, rel_tol=REL_TOL, abs_tol=ABS_TOL)
+
+
+def _json_num(value: float) -> float | None:
+    """Infinity is "no bound" — serialise it as null, not as a number."""
+    return None if math.isinf(value) else float(value)
+
+
+@dataclass(frozen=True)
+class SiteBound:
+    """Static stall bound for one demand-load site (Sec. 2.1)."""
+
+    #: stall-attribution key, ``loopname#index:mnemonic``
+    tag: str
+    #: body index of the load
+    index: int
+    #: min cycles to the first data use across iterations (None: no use)
+    use_distance: int | None
+    #: instances provably in flight when a use stalls (window size)
+    window: int
+    #: max stall cycles one window can expose: ``max(0, L_max - d)``
+    residual: float
+
+    def bound(self, trips: list[int]) -> float:
+        """Attributable stall cycles over the given per-invocation trips.
+
+        Completion state is per-invocation (the simulator starts each
+        invocation with a fresh completion table), so the window argument
+        applies per invocation: ``ceil(n / window) * residual``.
+        """
+        if self.residual <= 0.0:
+            return 0.0
+        total = 0.0
+        for n in trips:
+            if n > 0:
+                total += math.ceil(n / self.window) * self.residual
+        return total
+
+    def to_dict(self) -> dict:
+        return {
+            "tag": self.tag,
+            "index": self.index,
+            "use_distance": self.use_distance,
+            "window": self.window,
+            "residual": _json_num(self.residual),
+        }
+
+
+@dataclass
+class StaticPerfModel:
+    """Everything the bound checks need, derived without simulation."""
+
+    loop_name: str
+    pipelined: bool
+    ii: int
+    stage_count: int
+    spills: int
+    stacked: int
+    #: demand loads / demand stores / prefetches that reference memory
+    n_load_ops: int
+    n_store_ops: int
+    n_prefetch_ops: int
+    sites: list[SiteBound] = field(default_factory=list)
+    #: ceiling on any single access latency (inf when bank-unprovable)
+    l_max: float = _INF
+    #: the L2 bank leaky-bucket argument applies (rho <= 1)
+    bank_provable: bool = False
+    bank_rho: float = _INF
+    bank_delay_max: float = _INF
+    #: max OzQ entries ever in flight (inf when l_max is unbounded)
+    occ_bound: float = _INF
+    ozq_capacity: int = 0
+    #: occ_bound < capacity: BE_L1D_FPU_BUBBLE is provably zero
+    ozq_zero_proof: bool = False
+    #: every load site's residual is zero: BE_EXE_BUBBLE is provably zero
+    zero_stall_proof: bool = False
+
+    # --- derived totals -----------------------------------------------------
+    def _split_trips(self, trips) -> tuple[int, list[int], int, int]:
+        positive = [int(n) for n in trips if int(n) > 0]
+        invocations = len(list(trips))
+        iters = sum(positive)
+        kernel = sum(n + self.stage_count - 1 for n in positive)
+        return invocations, positive, iters, kernel
+
+    def fixed_cycles_per_invocation(self) -> float:
+        return (
+            self.spills * SPILL_CYCLES
+            + self.stacked * RSE_CYCLES_PER_REG
+            + FLUSH_CYCLES
+            + FRONTEND_CYCLES
+        )
+
+    def be_exe_bound(self, trips) -> float:
+        _, positive, _, _ = self._split_trips(trips)
+        return sum(site.bound(positive) for site in self.sites)
+
+    def be_l1d_bound(self, trips) -> float:
+        if self.ozq_zero_proof:
+            return 0.0
+        _, _, iters, _ = self._split_trips(trips)
+        demand = (self.n_load_ops + self.n_store_ops) * iters
+        if demand == 0:
+            return 0.0
+        return demand * self.l_max
+
+    def cycle_interval(self, trips) -> tuple[float, float]:
+        """``[lower, upper]`` on the total simulated cycles for ``trips``."""
+        invocations, _, _, kernel = self._split_trips(trips)
+        lower = (
+            invocations * self.fixed_cycles_per_invocation()
+            + self.ii * kernel
+        )
+        upper = lower + self.be_exe_bound(trips) + self.be_l1d_bound(trips)
+        return lower, upper
+
+    # --- static-only findings ----------------------------------------------
+    def static_report(self) -> DiagnosticReport:
+        """Notes derivable before any run: saturation and stall exposure."""
+        report = DiagnosticReport()
+        if not self.ozq_zero_proof and (
+            self.n_load_ops + self.n_store_ops + self.n_prefetch_ops
+        ):
+            bound = (
+                "unbounded" if math.isinf(self.occ_bound)
+                else f"{self.occ_bound:.0f}"
+            )
+            report.add(
+                "SA502",
+                f"static in-flight bound {bound} does not stay below the "
+                f"OzQ capacity {self.ozq_capacity}; BE_L1D_FPU_BUBBLE "
+                "cannot be proven zero",
+                loop=self.loop_name,
+                detail={
+                    "occ_bound": _json_num(self.occ_bound),
+                    "capacity": self.ozq_capacity,
+                },
+            )
+        if not self.zero_stall_proof:
+            exposed = [s for s in self.sites if s.residual > 0.0]
+            per_iter = sum(s.residual / s.window for s in exposed)
+            report.add(
+                "SA503",
+                f"{len(exposed)} load site(s) expose residual latency; "
+                "static BE_EXE_BUBBLE bound per source iteration is "
+                + ("unbounded" if math.isinf(per_iter)
+                   else f"{per_iter:.1f} cycles"),
+                loop=self.loop_name,
+                detail={
+                    "sites": [s.to_dict() for s in exposed],
+                    "per_iteration_bound": _json_num(per_iter),
+                    "l_max": _json_num(self.l_max),
+                },
+            )
+        return report
+
+    # --- post-simulation checks ---------------------------------------------
+    def check_counters(
+        self, trips, counters: PerfCounters, cycles: float
+    ) -> DiagnosticReport:
+        """Compare one run's counters against every static invariant."""
+        report = DiagnosticReport()
+        loop = self.loop_name
+        invocations, positive, iters, kernel = self._split_trips(trips)
+
+        counts = {
+            "invocations": (counters.invocations, invocations),
+            "source_iterations": (counters.source_iterations, iters),
+            "kernel_iterations": (counters.kernel_iterations, kernel),
+            "spill_instructions": (
+                counters.spill_instructions, 2 * self.spills * invocations
+            ),
+            "demand_loads": (
+                sum(counters.loads_by_level.values()),
+                self.n_load_ops * iters,
+            ),
+        }
+        for name, (got, want) in counts.items():
+            if got != want:
+                report.add(
+                    "SA511",
+                    f"{name}: counted {got}, static model requires {want}",
+                    loop=loop,
+                    detail={"counter": name, "got": got, "want": want},
+                )
+        prefetch_cap = self.n_prefetch_ops * iters
+        prefetch_got = (
+            counters.prefetches_issued + counters.prefetches_dropped_ozq
+        )
+        if prefetch_got > prefetch_cap:
+            report.add(
+                "SA511",
+                f"prefetches: {prefetch_got} issued+dropped exceed the "
+                f"{prefetch_cap} prefetch executions",
+                loop=loop,
+                detail={"got": prefetch_got, "cap": prefetch_cap},
+            )
+
+        exact = {
+            "unstalled": (
+                counters.unstalled,
+                self.ii * kernel
+                + self.spills * SPILL_CYCLES * invocations,
+            ),
+            "be_rse_bubble": (
+                counters.be_rse_bubble,
+                self.stacked * RSE_CYCLES_PER_REG * invocations,
+            ),
+            "be_flush_bubble": (
+                counters.be_flush_bubble, FLUSH_CYCLES * invocations
+            ),
+            "back_end_bubble_fe": (
+                counters.back_end_bubble_fe, FRONTEND_CYCLES * invocations
+            ),
+        }
+        for bucket, (got, want) in exact.items():
+            if not _eq(got, want):
+                report.add(
+                    "SA512",
+                    f"{bucket}: counted {got}, static model requires {want}",
+                    loop=loop,
+                    detail={"bucket": bucket, "got": got, "want": want},
+                )
+        if not _eq(cycles, counters.total_cycles):
+            report.add(
+                "SA512",
+                f"cycle identity open: cycles={cycles} but bucket sum is "
+                f"{counters.total_cycles}",
+                loop=loop,
+                detail={"cycles": cycles, "buckets": counters.total_cycles},
+            )
+
+        be_exe_ub = self.be_exe_bound(positive)
+        if self.zero_stall_proof and not _eq(counters.be_exe_bubble, 0.0):
+            report.add(
+                "SA513",
+                "zero-stall proof holds (every load covers L_max) but "
+                f"BE_EXE_BUBBLE is {counters.be_exe_bubble}",
+                loop=loop,
+                detail={"be_exe_bubble": counters.be_exe_bubble},
+            )
+        elif not math.isinf(be_exe_ub) and not _leq(
+            counters.be_exe_bubble, be_exe_ub
+        ):
+            report.add(
+                "SA513",
+                f"BE_EXE_BUBBLE {counters.be_exe_bubble} exceeds the "
+                f"static residual-latency bound {be_exe_ub}",
+                loop=loop,
+                detail={
+                    "be_exe_bubble": counters.be_exe_bubble,
+                    "bound": be_exe_ub,
+                    "sites": [s.to_dict() for s in self.sites],
+                },
+            )
+
+        if self.ozq_zero_proof:
+            for name, got in (
+                ("be_l1d_fpu_bubble", counters.be_l1d_fpu_bubble),
+                ("ozq_full_cycles", counters.ozq_full_cycles),
+                ("prefetches_dropped_ozq",
+                 float(counters.prefetches_dropped_ozq)),
+            ):
+                if not _eq(got, 0.0):
+                    report.add(
+                        "SA514",
+                        f"OzQ occupancy proof (bound {self.occ_bound:.0f} < "
+                        f"capacity {self.ozq_capacity}) but {name} is {got}",
+                        loop=loop,
+                        detail={"counter": name, "got": got},
+                    )
+        else:
+            l1d_ub = self.be_l1d_bound(positive)
+            if not math.isinf(l1d_ub) and not _leq(
+                counters.be_l1d_fpu_bubble, l1d_ub
+            ):
+                report.add(
+                    "SA514",
+                    f"BE_L1D_FPU_BUBBLE {counters.be_l1d_fpu_bubble} "
+                    f"exceeds the static per-access bound {l1d_ub}",
+                    loop=loop,
+                    detail={
+                        "be_l1d_fpu_bubble": counters.be_l1d_fpu_bubble,
+                        "bound": l1d_ub,
+                    },
+                )
+            if not _leq(counters.ozq_full_cycles, cycles):
+                report.add(
+                    "SA514",
+                    f"ozq_full_cycles {counters.ozq_full_cycles} exceed the "
+                    f"run's {cycles} total cycles",
+                    loop=loop,
+                    detail={
+                        "ozq_full_cycles": counters.ozq_full_cycles,
+                        "cycles": cycles,
+                    },
+                )
+
+        lower, upper = self.cycle_interval(trips)
+        if not _leq(lower, cycles):
+            report.add(
+                "SA515",
+                f"simulated cycles {cycles} fall below the static lower "
+                f"bound {lower} (II x kernel iterations + fixed costs)",
+                loop=loop,
+                detail={"cycles": cycles, "lower": lower},
+            )
+        if not math.isinf(upper) and not _leq(cycles, upper):
+            report.add(
+                "SA515",
+                f"simulated cycles {cycles} exceed the static upper bound "
+                f"{upper}",
+                loop=loop,
+                detail={"cycles": cycles, "upper": upper},
+            )
+        return report
+
+    def check_trace_sites(
+        self, trips, site_stalls: dict[str, float]
+    ) -> DiagnosticReport:
+        """Per-load-site attributed stalls vs the static residual bounds.
+
+        ``site_stalls`` maps stall-attribution tags (the culprit load
+        site) to attributed stall cycles, as
+        :class:`repro.trace.StallAttribution` reports them.
+        """
+        report = DiagnosticReport()
+        _, positive, _, _ = self._split_trips(trips)
+        bounds = {site.tag: site for site in self.sites}
+        for tag, stalled in site_stalls.items():
+            site = bounds.get(tag)
+            if site is None:
+                continue  # non-load tags carry no stall attribution
+            bound = site.bound(positive)
+            if math.isinf(bound) or _leq(stalled, bound):
+                continue
+            report.add(
+                "SA516",
+                f"site {tag} was charged {stalled} stall cycles, above "
+                f"its static residual bound {bound}",
+                loop=self.loop_name,
+                inst=site.index,
+                detail={
+                    "tag": tag,
+                    "stall_cycles": stalled,
+                    "bound": bound,
+                    "site": site.to_dict(),
+                },
+            )
+        return report
+
+    def to_dict(self) -> dict:
+        return {
+            "loop": self.loop_name,
+            "pipelined": self.pipelined,
+            "ii": self.ii,
+            "stage_count": self.stage_count,
+            "l_max": _json_num(self.l_max),
+            "bank": {
+                "provable": self.bank_provable,
+                "rho": _json_num(self.bank_rho),
+                "delay_max": _json_num(self.bank_delay_max),
+            },
+            "ozq": {
+                "occ_bound": _json_num(self.occ_bound),
+                "capacity": self.ozq_capacity,
+                "zero_proof": self.ozq_zero_proof,
+            },
+            "zero_stall_proof": self.zero_stall_proof,
+            "sites": [s.to_dict() for s in self.sites],
+        }
+
+
+# --- model construction -------------------------------------------------------
+
+def _bank_rate_burst(ref: MemRef, layout) -> tuple[float, float]:
+    """Leaky-bucket arrival bound of one reference onto any single L2 bank.
+
+    For a known stride ``s`` in a space of ``S`` bytes, one bank receives
+    runs of ``ceil(W / s)`` consecutive arrivals once per ``B*W`` bytes of
+    address progress, plus one extra run whenever the stream wraps at the
+    space boundary (streams are generated modulo the space size).  Unknown
+    strides, indirect/chase patterns and invariant addresses can hit one
+    bank every execution: rate 1.
+    """
+    width = MemorySystem.L2_BANK_WIDTH
+    banks = MemorySystem.L2_BANKS
+    spec = layout.get(ref.space) if layout else None
+    stride = None
+    if ref.pattern is AccessPattern.AFFINE:
+        stride = ref.stride
+    elif ref.pattern is AccessPattern.SYMBOLIC_STRIDE and spec is not None:
+        stride = spec.runtime_stride
+    if stride is None or spec is None or spec.size <= 0:
+        return 1.0, 1.0
+    s = abs(int(stride))
+    if s == 0:
+        return 1.0, 1.0
+    run = math.ceil(width / s)
+    rate = min(1.0, s * run / (banks * width) + s * run / spec.size)
+    return rate, 2.0 * run + 2.0
+
+
+def build_perf_model(
+    result: PipelineResult,
+    machine: ItaniumMachine,
+    layout: dict | None = None,
+) -> StaticPerfModel:
+    """Derive the static model for one compiled loop.
+
+    ``layout`` (space name -> :class:`~repro.sim.address.StreamSpec`) is
+    optional: it tightens the L2 bank argument with the space sizes and
+    runtime strides the workload declares.  Without it, bank backlogs are
+    usually unprovable and the affected upper bounds come back infinite.
+    """
+    loop = result.loop
+    if result.pipelined and result.schedule is not None:
+        times = result.schedule.times
+        ii = result.schedule.ii
+    else:
+        times = list_schedule(result.ddg, machine)
+        ii = result.seq_length
+    ii = max(1, int(ii))
+    stage_count = (
+        max(t // ii for t in times.values()) + 1 if times else 1
+    )
+
+    demand_loads = [
+        i for i in loop.body
+        if i.is_load and not i.is_prefetch and i.memref is not None
+    ]
+    demand_stores = [
+        i for i in loop.body
+        if i.is_store and not i.is_prefetch and i.memref is not None
+    ]
+    prefetch_ops = [i for i in loop.body if i.is_prefetch and i.memref is not None]
+
+    # L2 bank backlog: provable iff the summed arrival rate fits in the
+    # bank's service rate of II / OCC arrivals per iteration
+    occupancy = MemorySystem.L2_BANK_OCCUPANCY
+    rate_sum = 0.0
+    burst_sum = 0.0
+    for inst in demand_loads + demand_stores:
+        rate, burst = _bank_rate_burst(inst.memref, layout)
+        rate_sum += rate
+        burst_sum += burst
+    bank_rho = occupancy * rate_sum / ii
+    bank_provable = bank_rho <= 1.0 + REL_TOL
+    bank_delay_max = (
+        occupancy * (rate_sum + burst_sum) if bank_provable else _INF
+    )
+
+    # latency ceiling: full hierarchy walk + pending-fill chain (each link
+    # adds one TLB walk and one FP-conversion cycle) + bank backlog
+    t = machine.timings
+    walk = TLB()  # the default TLB the simulator's MemorySystem builds
+    l_max = (
+        t.l1 + t.l2 + t.l3 + t.memory
+        + 4 * (walk.miss_penalty + t.fp_extra)
+        + bank_delay_max
+    )
+
+    # min data-use distance per load, mirroring the simulator's stall-on-
+    # use wait construction (flow edges off the load's data result)
+    d_by_load: dict[int, int] = {}
+    for edge in result.ddg.edges:
+        if edge.kind is not DepKind.FLOW or not edge.src.is_load:
+            continue
+        if edge.reg not in edge.src.defs:
+            continue
+        dist = times[edge.dst] + ii * edge.omega - times[edge.src]
+        prev = d_by_load.get(edge.src.index)
+        d_by_load[edge.src.index] = dist if prev is None else min(prev, dist)
+
+    sites: list[SiteBound] = []
+    for load in loop.loads:
+        tag = f"{loop.name}#{load.index}:{load.mnemonic}"
+        d = d_by_load.get(load.index)
+        if d is None or load.memref is None:
+            # no data use (or no memory access): the load stalls nobody
+            sites.append(SiteBound(tag, load.index, d, 1, 0.0))
+            continue
+        d = max(0, int(d))
+        # instances j-1, ..., j-g are in flight when instance j's first
+        # use issues iff g*II < d; the stall shadows their residuals, so
+        # windows of g+1 instances expose at most one residual.  An exact
+        # multiple of II ties with same-cycle issue order: stay
+        # conservative and drop the boundary instance.
+        if d % ii:
+            window = d // ii + 1
+        else:
+            window = max(1, d // ii)
+        residual = max(0.0, l_max - d)
+        sites.append(SiteBound(tag, load.index, d, window, residual))
+
+    n_mem_ops = len(demand_loads) + len(demand_stores) + len(prefetch_ops)
+    occ_bound = (
+        n_mem_ops * math.ceil(l_max / ii) if not math.isinf(l_max)
+        else (_INF if n_mem_ops else 0.0)
+    )
+    spills = result.static.spills if result.static is not None else 0
+    stacked = result.static.stacked_frame if result.static is not None else 8
+
+    return StaticPerfModel(
+        loop_name=loop.name,
+        pipelined=result.pipelined,
+        ii=ii,
+        stage_count=stage_count,
+        spills=spills,
+        stacked=stacked,
+        n_load_ops=len(demand_loads),
+        n_store_ops=len(demand_stores),
+        n_prefetch_ops=len(prefetch_ops),
+        sites=sites,
+        l_max=l_max,
+        bank_provable=bank_provable,
+        bank_rho=bank_rho,
+        bank_delay_max=bank_delay_max,
+        occ_bound=occ_bound,
+        ozq_capacity=machine.ozq_capacity,
+        ozq_zero_proof=occ_bound < machine.ozq_capacity,
+        zero_stall_proof=all(s.residual <= 0.0 for s in sites),
+    )
+
+
+def check_simulation(
+    result: PipelineResult,
+    machine: ItaniumMachine,
+    layout: dict | None,
+    trips,
+    counters: PerfCounters,
+    cycles: float,
+) -> DiagnosticReport:
+    """Build the model and cross-check one finished run against it."""
+    model = build_perf_model(result, machine, layout)
+    return model.check_counters(trips, counters, cycles)

@@ -1,0 +1,152 @@
+"""Static register-pressure bounds (Sec. 2.2).
+
+Longer scheduled load latencies stretch value lifetimes across more
+kernel iterations, and every crossed back-edge costs one more rotating
+register — the price of latency tolerance the paper analyses in
+Sec. 2.2.  This check re-derives that price independently of
+:mod:`repro.regalloc` and reconciles the two:
+
+* **MaxLive per class** — for each kernel row, count how many copies of
+  each value are simultaneously live (a value live for ``e - f`` cycles
+  at row ``r`` has ``(e - f) // II + 1`` overlapping rotated copies).
+  The row maximum is the true pressure floor; the blade allocation can
+  never use fewer registers.
+* **Spans reconciliation** — the blades allocator assigns each value a
+  contiguous blade of ``span`` registers and packs them end to end, so
+  its per-class usage must equal the re-derived sum of spans exactly
+  (plus the SC stage predicates in the PR file).
+* **Capacity** — usage must fit the machine's rotating file.
+
+Any disagreement is a single error code, **SA501**: either the
+allocation books fewer registers than the schedule provably needs, or
+the demand exceeds what the machine has.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.ddg.edges import DepKind
+from repro.ir.registers import RegClass
+from repro.pipeliner.driver import PipelineResult
+
+
+@dataclass(frozen=True)
+class _Live:
+    """One re-derived lifetime: definition and folded last-use times."""
+
+    rclass: RegClass
+    t_def: int
+    end: int
+
+    def span(self, ii: int) -> int:
+        return self.end // ii - self.t_def // ii + 1
+
+    def copies_at(self, row: int, ii: int) -> int:
+        """Simultaneously-live rotated copies of this value at a row."""
+        first = self.t_def + ((row - self.t_def) % ii)
+        if first > self.end:
+            return 0
+        return (self.end - first) // ii + 1
+
+
+def _derive_lifetimes(result: PipelineResult) -> list[_Live]:
+    schedule = result.schedule
+    ddg = result.ddg
+    loop = result.loop
+    ii = schedule.ii
+    lives: list[_Live] = []
+    for inst in loop.body:
+        t_def = schedule.time_of(inst)
+        for reg in inst.all_defs():
+            # static (physical) and self-recurrent registers never rotate
+            if not reg.virtual or reg in inst.all_uses():
+                continue
+            end = t_def
+            for edge in ddg.succs(inst):
+                if edge.kind is not DepKind.FLOW or edge.reg != reg:
+                    continue
+                end = max(end, schedule.time_of(edge.dst) + ii * edge.omega)
+            if reg in loop.live_out:
+                end = max(end, t_def + ii)
+            lives.append(_Live(rclass=reg.rclass, t_def=t_def, end=end))
+    return lives
+
+
+def max_live(result: PipelineResult) -> dict[RegClass, int]:
+    """Peak simultaneously-live rotated values per class, per kernel row."""
+    ii = result.schedule.ii
+    lives = _derive_lifetimes(result)
+    peaks: dict[RegClass, int] = defaultdict(int)
+    for row in range(ii):
+        at_row: dict[RegClass, int] = defaultdict(int)
+        for lv in lives:
+            at_row[lv.rclass] += lv.copies_at(row, ii)
+        for rclass, count in at_row.items():
+            peaks[rclass] = max(peaks[rclass], count)
+    return dict(peaks)
+
+
+def verify_pressure(result: PipelineResult) -> DiagnosticReport:
+    """Check the rotating allocation against re-derived pressure bounds."""
+    report = DiagnosticReport()
+    if not result.pipelined or result.schedule is None:
+        return report
+    rotating = result.rotating
+    if rotating is None:
+        return report
+
+    loop = result.loop.name
+    machine = result.schedule.machine
+    ii = result.schedule.ii
+    sc = result.schedule.stage_count
+    lives = _derive_lifetimes(result)
+    peaks = max_live(result)
+
+    spans: dict[RegClass, int] = defaultdict(int)
+    for lv in lives:
+        spans[lv.rclass] += lv.span(ii)
+
+    for rclass in (RegClass.GR, RegClass.FR, RegClass.PR):
+        predicates = sc if rclass is RegClass.PR else 0
+        demand = spans.get(rclass, 0) + predicates
+        floor = peaks.get(rclass, 0) + predicates
+        used = rotating.used.get(rclass, 0)
+        capacity = machine.rotating_capacity(rclass)
+        if used != demand:
+            report.add(
+                "SA501",
+                f"{rclass.name} rotating usage {used} does not match the "
+                f"re-derived blade demand {demand} "
+                f"(sum of spans{' + stage predicates' if predicates else ''})",
+                loop=loop,
+                detail={
+                    "class": rclass.name,
+                    "used": used,
+                    "demand": demand,
+                    "stage_predicates": predicates,
+                },
+            )
+        if used < floor:
+            report.add(
+                "SA501",
+                f"{rclass.name} rotating usage {used} is below MaxLive "
+                f"{floor}: some row holds more live values than registers",
+                loop=loop,
+                detail={"class": rclass.name, "used": used, "max_live": floor},
+            )
+        if used > capacity:
+            report.add(
+                "SA501",
+                f"{rclass.name} rotating demand {used} exceeds the machine "
+                f"capacity {capacity}",
+                loop=loop,
+                detail={
+                    "class": rclass.name,
+                    "used": used,
+                    "capacity": capacity,
+                },
+            )
+    return report

@@ -1,0 +1,180 @@
+"""Self-determinism lint for the repo's content-addressed paths.
+
+The harness cache, the service protocol and the fuzz runner all promise
+*fingerprint identity*: the same inputs produce byte-identical artifacts
+and content addresses, across runs, processes and hosts.  That promise
+dies silently the moment wall-clock time, an unseeded RNG or unordered
+``set`` iteration leaks into anything that feeds a hash.  This AST lint
+walks those modules and rejects the constructs outright:
+
+* **ND001** — ``time.time()`` / ``time.time_ns()`` (monotonic and
+  ``perf_counter`` clocks are fine: they never feed content, only
+  durations);
+* **ND002** — ``datetime.now()`` / ``utcnow()`` / ``today()``;
+* **ND003** — module-level ``random.*`` calls and ``numpy.random.*``
+  convenience functions (seeded generator objects — ``random.Random``,
+  ``numpy.random.default_rng`` — are allowed);
+* **ND004** — ``uuid.uuid1()`` / ``uuid.uuid4()`` / ``os.urandom()``;
+* **ND005** — ``for`` iteration directly over a ``set`` literal, set
+  comprehension or ``set(...)`` call (wrap in ``sorted(...)``).
+
+Findings are plain data, not ``Diagnostic`` values: the SAnnn registry
+is reserved for compiler-artifact findings, while this lint polices the
+repo's own source.  ``python -m repro.analysis.selflint`` exits nonzero
+on any finding, which is how CI runs it.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+#: modules whose behaviour is part of the content-address contract
+DEFAULT_TARGETS = (
+    "src/repro/harness/cache.py",
+    "src/repro/service/protocol.py",
+    "src/repro/fuzz/runner.py",
+)
+
+_TIME_BANNED = {"time", "time_ns"}
+_DATETIME_BANNED = {"now", "utcnow", "today"}
+_RANDOM_ALLOWED = {"Random", "SystemRandom", "default_rng", "Generator"}
+_UUID_BANNED = {"uuid1", "uuid4"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One determinism violation at a source location."""
+
+    code: str
+    path: str
+    line: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.code}: {self.message}"
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` attribute chains as a dotted string; None otherwise."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: list[Finding] = []
+
+    def _add(self, code: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(code=code, path=self.path, line=node.lineno, message=message)
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _dotted(node.func)
+        if name:
+            parts = name.split(".")
+            head, tail = parts[0], parts[-1]
+            if head == "time" and tail in _TIME_BANNED:
+                self._add(
+                    "ND001", node,
+                    f"wall-clock {name}() in a content-addressed path; "
+                    "use time.perf_counter()/monotonic() for durations",
+                )
+            elif head == "datetime" and tail in _DATETIME_BANNED:
+                self._add(
+                    "ND002", node,
+                    f"{name}() makes output depend on the wall clock",
+                )
+            elif head == "random" and tail not in _RANDOM_ALLOWED:
+                self._add(
+                    "ND003", node,
+                    f"module-level {name}() uses the shared unseeded RNG; "
+                    "construct a seeded random.Random instead",
+                )
+            elif (
+                len(parts) >= 2
+                and parts[-2] == "random"
+                and head in {"np", "numpy"}
+                and tail not in _RANDOM_ALLOWED
+            ):
+                self._add(
+                    "ND003", node,
+                    f"{name}() uses numpy's global RNG; "
+                    "use numpy.random.default_rng(seed)",
+                )
+            elif head == "uuid" and tail in _UUID_BANNED:
+                self._add("ND004", node, f"{name}() is nondeterministic")
+            elif name in {"os.urandom", "secrets.token_bytes",
+                          "secrets.token_hex"}:
+                self._add("ND004", node, f"{name}() is nondeterministic")
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_set_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_set_iter(node.iter)
+        self.generic_visit(node)
+
+    def _check_set_iter(self, it: ast.AST) -> None:
+        is_set = isinstance(it, (ast.Set, ast.SetComp)) or (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Name)
+            and it.func.id in {"set", "frozenset"}
+        )
+        if is_set:
+            self._add(
+                "ND005", it,
+                "iteration order over a set is unspecified; wrap in sorted()",
+            )
+
+
+def check_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one module's source text."""
+    tree = ast.parse(source, filename=path)
+    visitor = _Visitor(path)
+    visitor.visit(tree)
+    return visitor.findings
+
+
+def check_file(path: Path | str) -> list[Finding]:
+    path = Path(path)
+    return check_source(path.read_text(), str(path))
+
+
+def check_paths(
+    paths=DEFAULT_TARGETS, root: Path | str | None = None
+) -> list[Finding]:
+    """Lint the given files (repo-relative when ``root`` is given)."""
+    base = Path(root) if root is not None else Path(".")
+    findings: list[Finding] = []
+    for rel in paths:
+        findings.extend(check_file(base / rel))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    findings = check_paths(argv or DEFAULT_TARGETS)
+    for finding in findings:
+        print(finding.format())
+    targets = argv or list(DEFAULT_TARGETS)
+    print(
+        f"selflint: {len(targets)} file(s), {len(findings)} finding(s)"
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,7 +8,13 @@ and the harness use.  It composes the four passes:
 * :func:`repro.analysis.schedverify.verify_schedule` (SA2xx),
 * :func:`repro.analysis.kernelverify.verify_kernel` (SA3xx), and
 * :func:`repro.analysis.hintcheck.verify_hints` (SA4xx)
-  when the loop was actually software-pipelined.
+  when the loop was actually software-pipelined;
+* :func:`repro.analysis.pressure.verify_pressure` and the static
+  findings of :mod:`repro.analysis.perfmodel` (SA5xx) for pipelined
+  loops — re-derived register pressure plus saturation/stall-exposure
+  notes.  The post-simulation SA51x counter cross-checks live in
+  :func:`repro.analysis.perfmodel.check_simulation` and run from the
+  harness after each cell simulates.
 
 Loops the driver left sequential (low trip counts, scheduling failures)
 only get the IR lint — there is no schedule to validate.
@@ -20,6 +26,8 @@ from repro.analysis.diagnostics import DiagnosticReport
 from repro.analysis.hintcheck import verify_hints
 from repro.analysis.irlint import lint_loop
 from repro.analysis.kernelverify import verify_kernel
+from repro.analysis.perfmodel import build_perf_model
+from repro.analysis.pressure import verify_pressure
 from repro.analysis.schedverify import verify_schedule
 from repro.core.compiler import CompiledLoop
 from repro.pipeliner.driver import PipelineResult
@@ -35,6 +43,9 @@ def verify_result(result: PipelineResult) -> DiagnosticReport:
                 verify_kernel(result.kernel, result.schedule, result.rotating)
             )
         report.extend(verify_hints(result.schedule, result.stats))
+        report.extend(verify_pressure(result))
+        model = build_perf_model(result, result.schedule.machine)
+        report.extend(model.static_report())
     return report
 
 

@@ -175,19 +175,37 @@ def cmd_lint(args: argparse.Namespace) -> int:
     from repro.ir import parse_loop
     from repro.machine import ItaniumMachine
 
+    machine = ItaniumMachine()
     config = make_config(args)
-    compiler = LoopCompiler(ItaniumMachine(), config)
+    compiler = LoopCompiler(machine, config)
     report = DiagnosticReport()
     linted = 0
 
-    def check(loop, profile=None) -> None:
+    def check(loop, profile=None, layout=None) -> None:
         nonlocal linted
         linted += 1
         findings = lint_loop(loop)
         if findings.ok:
             # clean IR: compile it and translation-validate the full
             # result (the lint re-runs there on the HLO-transformed loop)
-            findings = verify_compiled(compiler.compile(loop, profile))
+            compiled = compiler.compile(loop, profile)
+            findings = verify_compiled(compiled)
+            if args.bounds:
+                from repro.analysis import build_perf_model
+
+                model = build_perf_model(compiled.result, machine, layout)
+                lo, up = model.cycle_interval(
+                    [max(1, int(loop.average_trips()))]
+                )
+                up_text = "inf" if up == float("inf") else f"{up:.0f}"
+                print(
+                    f"bounds {loop.name}: II={model.ii} SC="
+                    f"{model.stage_count} cycles/invocation in "
+                    f"[{lo:.0f}, {up_text}] zero_stall="
+                    f"{model.zero_stall_proof} ozq_zero="
+                    f"{model.ozq_zero_proof} bank_provable="
+                    f"{model.bank_provable}"
+                )
         report.extend(findings)
 
     for path in args.loop_files:
@@ -202,8 +220,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
                 collect_profile(bench, args.seed) if config.pgo else None
             )
             for lw in bench.loops:
-                loop, _ = lw.build()
-                check(loop, profile)
+                loop, layout = lw.build()
+                check(loop, profile, layout)
 
     if not linted:
         print("error: nothing to lint (give loop files and/or --suite)",
@@ -317,9 +335,30 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print()
         print(ascii_timeline(traced.events, width=args.timeline_width))
 
+    # cross-check the run and its stall attribution against the SA5xx
+    # static performance bounds: counters inside the cycle interval,
+    # per-site stalls at or below their residual-latency budget
+    from repro.analysis import build_perf_model
+
+    trips = [args.trips] * args.invocations
+    model = build_perf_model(compiled.result, machine, layout)
+    bound_report = model.check_counters(trips, run.counters, run.cycles)
+    bound_report.extend(model.check_trace_sites(
+        trips,
+        {
+            tag: site.stall_cycles
+            for tag, site in traced.attribution.sites.items()
+        },
+    ))
+    if bound_report.ok:
+        print("static bounds: OK")
+    else:
+        print("static bounds: FAILED", file=sys.stderr)
+        print(bound_report.render_text(), file=sys.stderr)
+
     if traced.check.ok:
         print("closed accounting: OK")
-        return 0
+        return 0 if bound_report.ok else 1
     print("closed accounting: FAILED", file=sys.stderr)
     for failure in traced.check.failures:
         print(f"  {failure}", file=sys.stderr)
@@ -398,6 +437,11 @@ def _report_manifest_verification(manifest, args: argparse.Namespace) -> int:
         f"verification: {manifest.verified_cells}/{len(manifest.cells)} "
         f"cells verified, {manifest.verify_errors} error(s)"
     )
+    if manifest.bounds_checked:
+        print(
+            f"static bounds: {manifest.bounds_checked} loop run(s) "
+            f"checked, {manifest.bounds_violations} violation(s)"
+        )
     return 1 if manifest.verify_errors else 0
 
 
@@ -729,6 +773,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also lint every loop of a workload suite")
     p_lint.add_argument("--format", choices=["text", "json"], default="text",
                         help="finding renderer (default: text)")
+    p_lint.add_argument("--bounds", action="store_true",
+                        help="print the SA5xx static performance bounds "
+                             "(cycle interval, zero-stall / OzQ proofs) "
+                             "for every cleanly compiled loop")
     p_lint.add_argument("--seed", type=int, default=2008,
                         help="PGO profile seed for suite loops")
     _add_config_args(p_lint)

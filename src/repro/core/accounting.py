@@ -54,11 +54,16 @@ class CycleAccount:
         return 100.0 * self.counters.ozq_full_cycles / max(self.total, 1e-9)
 
     def delta_percent(self, other: "CycleAccount", bucket: str) -> float:
-        """Percent change of a bucket's cycles vs another account."""
+        """Percent change of a bucket's cycles vs another account.
+
+        A bucket that appears out of nowhere (baseline zero, variant
+        nonzero) is an infinite regression, not a no-op: returns
+        ``math.inf``, which the report renderers print as ``new``.
+        """
         mine = getattr(self.counters, bucket)
         theirs = getattr(other.counters, bucket)
         if theirs == 0:
-            return 0.0
+            return 0.0 if mine == 0 else math.inf
         return 100.0 * (mine / theirs - 1.0)
 
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 from repro.core.accounting import BUCKETS, CycleAccount
 from repro.core.experiment import ExperimentResult
 
@@ -50,9 +52,10 @@ def format_account_table(
         base_cycles = getattr(baseline.counters, bucket)
         var_cycles = getattr(variant.counters, bucket)
         delta = variant.delta_percent(baseline, bucket)
+        # a bucket appearing from a zero baseline has no finite delta
+        rendered = f"{'new':>10}" if math.isinf(delta) else f"{delta:>+9.1f}%"
         lines.append(
-            f"{bucket:<22}{base_cycles:>16.0f}{var_cycles:>16.0f}"
-            f"{delta:>+9.1f}%"
+            f"{bucket:<22}{base_cycles:>16.0f}{var_cycles:>16.0f}{rendered}"
         )
     lines.append(
         f"{'TOTAL':<22}{baseline.total:>16.0f}{variant.total:>16.0f}"

@@ -56,7 +56,7 @@ from repro.sim.executor import simulate_loop
 
 #: bump when oracle semantics change — part of the harness cache key, so
 #: stale cached verdicts are never replayed against new oracles
-ORACLE_VERSION = 1
+ORACLE_VERSION = 2
 
 #: source iterations for the architectural executions — enough to cross
 #: several stage boundaries of any schedule the generator can provoke
@@ -213,6 +213,24 @@ def _check_accounting(
             f"{first.total_iterations}/{first.invocations} vs "
             f"{second.total_iterations}/{second.invocations}",
         ))
+
+    # SA5xx bounds oracle: every run's counters must lie inside the
+    # statically derived interval, whatever loop the generator produced
+    try:
+        from repro.analysis import build_perf_model
+
+        model = build_perf_model(compiled.result, machine, layout)
+    except Exception as exc:  # noqa: BLE001 - any crash is a finding
+        report.violations.append(Violation(
+            "bounds", f"static model construction crashed: {exc!r}"
+        ))
+        return
+    for seed, run in zip((11, 12), runs):
+        bound_report = model.check_counters(trips, run.counters, run.cycles)
+        for diag in bound_report:
+            report.violations.append(Violation(
+                "bounds", f"(seed={seed}) {diag.format()}", diag.code
+            ))
 
 
 def check_loop(

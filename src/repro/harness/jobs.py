@@ -117,10 +117,13 @@ def collect_profile(bench: Benchmark, seed: int) -> BlockProfile:
     return collect_block_profile(dists, seed=seed)
 
 
-def aggregate_verification(reports: list) -> dict:
+def aggregate_verification(
+    reports: list, bounds: tuple[int, int] | None = None
+) -> dict:
     """Fold per-loop :class:`~repro.analysis.DiagnosticReport` values into
     the compact, JSON-serialisable form stored in cache payloads, job
-    outcomes and manifest cells."""
+    outcomes and manifest cells.  ``bounds`` is the post-simulation
+    SA5xx cross-check tally as ``(loops checked, loops violating)``."""
     codes: set[str] = set()
     errors = warnings = notes = 0
     for report in reports:
@@ -129,7 +132,7 @@ def aggregate_verification(reports: list) -> dict:
         warnings += counts["warning"]
         notes += counts["note"]
         codes.update(report.codes())
-    return {
+    summary = {
         "ok": errors == 0,
         "loops": len(reports),
         "errors": errors,
@@ -137,6 +140,11 @@ def aggregate_verification(reports: list) -> dict:
         "notes": notes,
         "codes": sorted(codes),
     }
+    if bounds is not None:
+        summary["bounds"] = {
+            "checked": bounds[0], "violations": bounds[1]
+        }
+    return summary
 
 
 def run_loops(
@@ -175,6 +183,7 @@ def run_loops(
     outcomes: list[LoopOutcome] = []
     reports = []
     summaries: list[dict] = []
+    bounds_checked = bounds_violations = 0
     for pos, lw in enumerate(bench.loops):
         loop, layout = lw.build()
         compiled = compiler.compile(loop, profile)
@@ -195,6 +204,20 @@ def run_loops(
             seed=seed + pos,
             sink=sink,
         )
+        if verify:
+            # post-simulation translation validation for *performance*:
+            # the cell's raw counters must land inside the SA5xx static
+            # interval derived before the run
+            from repro.analysis import check_simulation
+
+            bound_report = check_simulation(
+                compiled.result, machine, layout, trips,
+                sim.counters, sim.cycles,
+            )
+            bounds_checked += 1
+            if not bound_report.ok:
+                bounds_violations += 1
+            reports[-1].extend(bound_report)
         if sink is not None:
             # closed accounting holds per loop, against the loop's own
             # fresh counters (merged counters group additions differently)
@@ -217,7 +240,9 @@ def run_loops(
         loop_cycles=total,
         counters=counters,
         outcomes=outcomes,
-        verification=aggregate_verification(reports) if verify else None,
+        verification=aggregate_verification(
+            reports, bounds=(bounds_checked, bounds_violations)
+        ) if verify else None,
         trace=merge_trace_summaries(summaries) if trace else None,
     )
 
@@ -403,7 +428,15 @@ def cached_loop_run(
 
     key = hash_key(loop_run_key(bench, config, machine, seed, trace=trace))
     payload = cache.get(key)
-    if payload is not None and not (verify and payload.get("verification") is None):
+    # a hit written before the SA5xx bound checks existed lacks the
+    # "bounds" tally; re-run and upgrade the payload in place, like a
+    # non-verified hit under verify=True
+    stale = verify and (
+        payload is None
+        or payload.get("verification") is None
+        or "bounds" not in payload["verification"]
+    )
+    if payload is not None and not stale:
         return (
             LoopRunOutcome(
                 loop_cycles=payload["loop_cycles"],

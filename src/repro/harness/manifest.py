@@ -62,6 +62,11 @@ class CellRecord:
     verified: bool = False
     verify_errors: int = 0
     verify_warnings: int = 0
+    #: loops whose simulated counters were checked against the SA5xx
+    #: static performance bounds, and how many violated them (the
+    #: violations are also counted in ``verify_errors``)
+    bounds_checked: int = 0
+    bounds_violations: int = 0
     #: compact repro.trace summary (see ``trace_summary``) when the cell
     #: ran with ``--trace``; None keeps pre-trace manifests loading
     trace: dict | None = None
@@ -212,6 +217,14 @@ class RunManifest:
     def verify_errors(self) -> int:
         return sum(cell.verify_errors for cell in self.cells)
 
+    @property
+    def bounds_checked(self) -> int:
+        return sum(cell.bounds_checked for cell in self.cells)
+
+    @property
+    def bounds_violations(self) -> int:
+        return sum(cell.bounds_violations for cell in self.cells)
+
     # --- trace accounting -----------------------------------------------------
     @property
     def traced_cells(self) -> int:
@@ -239,6 +252,11 @@ class RunManifest:
             text += (
                 f"verified {self.verified_cells}/{len(self.cells)} cells "
                 f"({self.verify_errors} error(s)), "
+            )
+        if self.bounds_checked:
+            text += (
+                f"bounds {self.bounds_checked} loop(s) checked "
+                f"({self.bounds_violations} violation(s)), "
             )
         if self.traced_cells:
             text += (

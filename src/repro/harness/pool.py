@@ -228,6 +228,7 @@ def run_suite(
             continue
         results[job.config.label][job.benchmark.name] = result
         verification = outcome.verification or {}
+        bounds = verification.get("bounds") or {}
         cells.append(CellRecord(
             benchmark=result.name,
             suite=result.suite,
@@ -240,6 +241,8 @@ def run_suite(
             verified=outcome.verification is not None,
             verify_errors=verification.get("errors", 0),
             verify_warnings=verification.get("warnings", 0),
+            bounds_checked=bounds.get("checked", 0),
+            bounds_violations=bounds.get("violations", 0),
             trace=outcome.trace,
         ))
 

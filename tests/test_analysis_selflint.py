@@ -1,0 +1,96 @@
+"""Self-determinism AST lint: rules, and the shipped targets stay clean."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.selflint import (
+    DEFAULT_TARGETS,
+    check_file,
+    check_paths,
+    check_source,
+    main,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def codes(source: str) -> list[str]:
+    return [f.code for f in check_source(source)]
+
+
+class TestRules:
+    def test_wall_clock_rejected(self):
+        assert codes("import time\nstamp = time.time()\n") == ["ND001"]
+        assert codes("import time\nstamp = time.time_ns()\n") == ["ND001"]
+
+    def test_monotonic_clocks_allowed(self):
+        assert codes(
+            "import time\n"
+            "t0 = time.perf_counter()\n"
+            "t1 = time.monotonic()\n"
+        ) == []
+
+    def test_datetime_now_rejected(self):
+        assert codes(
+            "import datetime\nwhen = datetime.now()\n"
+        ) == ["ND002"]
+        assert codes("stamp = datetime.utcnow()\n") == ["ND002"]
+
+    def test_unseeded_random_rejected(self):
+        assert codes("import random\nx = random.random()\n") == ["ND003"]
+        assert codes("import random\nrandom.shuffle(items)\n") == ["ND003"]
+
+    def test_seeded_generators_allowed(self):
+        assert codes(
+            "import random\n"
+            "rng = random.Random(7)\n"
+            "x = rng.random()\n"
+        ) == []
+        assert codes(
+            "import numpy as np\n"
+            "rng = np.random.default_rng(11)\n"
+        ) == []
+
+    def test_numpy_global_rng_rejected(self):
+        assert codes(
+            "import numpy as np\nx = np.random.rand(3)\n"
+        ) == ["ND003"]
+
+    def test_uuid_and_urandom_rejected(self):
+        assert codes("import uuid\nu = uuid.uuid4()\n") == ["ND004"]
+        assert codes("import os\nb = os.urandom(8)\n") == ["ND004"]
+
+    def test_set_iteration_rejected(self):
+        assert codes("for x in {1, 2, 3}:\n    pass\n") == ["ND005"]
+        assert codes("out = [x for x in set(items)]\n") == ["ND005"]
+
+    def test_sorted_set_iteration_allowed(self):
+        assert codes("for x in sorted({1, 2, 3}):\n    pass\n") == []
+        assert codes("for x in sorted(set(items)):\n    pass\n") == []
+
+    def test_finding_carries_location(self):
+        finding = check_source("import time\nt = time.time()\n", "mod.py")[0]
+        assert finding.path == "mod.py"
+        assert finding.line == 2
+        assert "mod.py:2: ND001" in finding.format()
+
+
+class TestTargets:
+    def test_shipped_content_addressed_paths_are_clean(self):
+        findings = check_paths(DEFAULT_TARGETS, root=REPO_ROOT)
+        assert findings == [], [f.format() for f in findings]
+
+    def test_check_file_reads_real_sources(self):
+        path = REPO_ROOT / "src" / "repro" / "harness" / "cache.py"
+        assert check_file(path) == []
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nt = time.time()\n")
+        assert main([str(clean)]) == 0
+        assert main([str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "ND001" in out

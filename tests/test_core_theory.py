@@ -94,3 +94,28 @@ class TestProperties:
     def test_equation3_roundtrip(self, k, ii):
         d = additional_latency_for_clustering(k, ii)
         assert clustering_factor(d, ii) == k
+
+    @given(
+        st.integers(0, 10_000),   # n source iterations
+        st.integers(0, 400),      # L expected latency
+        st.integers(0, 400),      # d scheduled additional latency
+        st.integers(1, 16),       # II
+    )
+    def test_expected_stalls_consistent_with_clustering(self, n, lat, d, ii):
+        """Equ. (2) in cycles: n * residual / k with k from Equ. (3)."""
+        k = clustering_factor(d, ii)
+        expected = n * max(0, lat - d) / k
+        assert expected_stall_cycles(n, lat, d, ii) == pytest.approx(expected)
+
+    @given(
+        st.integers(0, 10_000),
+        st.integers(0, 400),
+        st.integers(0, 399),
+        st.integers(1, 16),
+    )
+    def test_expected_stalls_monotone_in_d(self, n, lat, d, ii):
+        """More scheduled latency never predicts more stall cycles."""
+        assert (
+            expected_stall_cycles(n, lat, d + 1, ii)
+            <= expected_stall_cycles(n, lat, d, ii) + 1e-9
+        )

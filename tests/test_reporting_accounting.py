@@ -31,8 +31,16 @@ class TestCycleAccount:
         assert variant.delta_percent(base, "be_exe_bubble") == pytest.approx(
             -25.0
         )
+
+    def test_delta_percent_from_zero_baseline_is_infinite(self):
+        """A bucket appearing out of nowhere is a regression, not a no-op."""
+        import math
+
+        variant = _account("v", be_exe_bubble=150)
         empty = _account("e")
-        assert variant.delta_percent(empty, "be_exe_bubble") == 0.0
+        assert math.isinf(variant.delta_percent(empty, "be_exe_bubble"))
+        # both zero really is "no change"
+        assert empty.delta_percent(_account("e2"), "be_exe_bubble") == 0.0
 
     def test_ozq_full_percent(self):
         acc = _account("a", unstalled=90, be_l1d_fpu_bubble=10)
@@ -58,6 +66,16 @@ class TestAccountTable:
         assert any("be_exe_bubble" in l and "-20.0%" in l for l in lines)
         assert any(l.startswith("TOTAL") for l in lines)
         assert lines[-1].startswith("ozq-full %")
+
+    def test_bucket_appearing_from_zero_renders_as_new(self):
+        base = _account("base", unstalled=100)
+        variant = _account("var", unstalled=100, be_exe_bubble=40)
+        text = format_account_table(base, variant)
+        row = next(
+            l for l in text.splitlines() if l.startswith("be_exe_bubble")
+        )
+        assert row.endswith("new")
+        assert "inf" not in row
 
 
 class TestGainTable:
