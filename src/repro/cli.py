@@ -118,6 +118,17 @@ def make_config(args: argparse.Namespace) -> CompilerConfig:
     )
 
 
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=["interp", "fast"],
+        default="",
+        help="simulator backend (default: the session default, fast); "
+             "backends are bit-identical, so results and cache entries "
+             "are shared either way",
+    )
+
+
 def _add_config_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--policy",
@@ -259,6 +270,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         layout,
         [args.trips] * args.invocations,
         memory=MemorySystem(machine.timings),
+        backend=args.backend or None,
     )
     c = run.counters
     print(f"cycles: {run.cycles:,.0f} "
@@ -403,6 +415,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         suite_name=args.suite,
         verify=args.verify,
         trace=args.trace,
+        backend=args.backend,
     )
     result = compare_configs(run, base.label, variant.label)
     print(format_gain_table(
@@ -484,6 +497,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         manifest_path=manifest_path,
         verify=args.verify,
         trace=args.trace,
+        backend=args.backend,
     )
     if variants:
         results = {
@@ -792,6 +806,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="working-set size per memory space, e.g. a=64M or a=8K:stream",
     )
     _add_config_args(p_sim)
+    _add_backend_arg(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
     p_trace = sub.add_parser(
@@ -842,6 +857,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record per-cell stall-attribution summaries "
                             "in the manifest")
     _add_config_args(p_exp)
+    _add_backend_arg(p_exp)
     p_exp.set_defaults(func=cmd_experiment)
 
     p_bench = sub.add_parser(
@@ -885,6 +901,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--trace", action="store_true",
                          help="record per-cell stall-attribution summaries "
                               "in the manifest")
+    _add_backend_arg(p_bench)
     p_bench.set_defaults(func=cmd_bench)
 
     p_cmp = sub.add_parser("compare", help="diff two run manifests")

@@ -16,7 +16,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.config import CompilerConfig
+from repro.config import CompilerConfig, SimBackend
 from repro.core.compiler import CompiledLoop, LoopCompiler
 from repro.hlo.profiles import BlockProfile
 from repro.ir.loop import Loop
@@ -24,6 +24,11 @@ from repro.machine.itanium2 import ItaniumMachine
 from repro.sim.address import AddressMap, StreamSpec, build_streams
 from repro.sim.core import prepare_execution, run_iterations
 from repro.sim.counters import PerfCounters
+from repro.sim.fastpath import (
+    compile_kernel,
+    fast_replay_supported,
+    run_iterations_fast,
+)
 from repro.sim.executor import (
     FLUSH_CYCLES,
     FRONTEND_CYCLES,
@@ -91,6 +96,7 @@ def simulate_versioned(
     trip_counts: list[int] | np.ndarray,
     memory: MemorySystem | None = None,
     seed: int = 11,
+    backend: SimBackend | str | None = None,
 ) -> LoopRunResult:
     """Execute a versioned loop, switching per invocation at run time.
 
@@ -100,6 +106,8 @@ def simulate_versioned(
     """
     memory = memory or MemorySystem(machine.timings)
     counters = PerfCounters()
+    backend = SimBackend.parse(backend)
+    use_fast = backend is SimBackend.FAST and fast_replay_supported(memory)
     trips = [int(t) for t in trip_counts]
     total_iters = sum(trips)
     stream_len = max(total_iters, max(trips) if trips else 0)
@@ -140,10 +148,16 @@ def simulate_versioned(
         )
 
         base = 0 if reuse_spaces else running_base
-        cycle = run_iterations(
-            setup, streams, base, n, memory, machine.ozq_capacity,
-            counters, cycle,
-        )
+        if use_fast:
+            cycle = run_iterations_fast(
+                compile_kernel(setup), streams, base, n, memory,
+                machine.ozq_capacity, counters, cycle,
+            )
+        else:
+            cycle = run_iterations(
+                setup, streams, base, n, memory, machine.ozq_capacity,
+                counters, cycle,
+            )
         running_base += n
         counters.invocations += 1
 
@@ -153,4 +167,5 @@ def simulate_versioned(
         counters=counters,
         invocations=len(trips),
         total_iterations=total_iters,
+        backend=(SimBackend.FAST if use_fast else SimBackend.INTERP).value,
     )

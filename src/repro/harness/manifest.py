@@ -74,6 +74,11 @@ class CellRecord:
     #: deadline (cycle fields are 0.0 and meaningless); the default keeps
     #: pre-status manifests loading through ``CellRecord(**cell)``
     status: str = "ok"
+    #: simulator backend the cell requested ("interp" | "fast"); purely
+    #: provenance — backends are bit-identical, so it stays out of
+    #: :meth:`RunManifest.fingerprint` and every cache key.  The default
+    #: keeps pre-backend manifests loading through ``CellRecord(**cell)``
+    backend: str = ""
 
 
 @dataclasses.dataclass

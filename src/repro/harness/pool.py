@@ -125,6 +125,7 @@ def run_jobs(
                 cache_hit=False,
                 duration_s=result.duration_s,
                 status="timeout",
+                backend=job.backend,
             ))
         else:
             if result.exception is not None:
@@ -176,6 +177,7 @@ def run_suite(
     manifest_path: str | Path | None = None,
     verify: bool = False,
     trace: bool = False,
+    backend: str = "",
 ) -> SuiteRun:
     """Run every benchmark under every config, in parallel, with caching.
 
@@ -188,6 +190,10 @@ def run_suite(
     ``trace`` attaches the :mod:`repro.trace` stall-attribution analyzer
     to every loop simulation and records the closed-accounted summary per
     manifest cell (simulated cycles are unaffected either way).
+    ``backend`` picks the simulator implementation per cell ("interp" |
+    "fast", "" = session default); backends are bit-identical, so the
+    choice is recorded in the manifest but never enters cache keys or
+    the manifest fingerprint.
     """
     machine = machine or ItaniumMachine()
     unique_configs: list[CompilerConfig] = []
@@ -199,7 +205,7 @@ def run_suite(
 
     jobs = [
         BenchmarkJob(benchmark=bench, config=config, machine=machine,
-                     seed=seed, verify=verify, trace=trace)
+                     seed=seed, verify=verify, trace=trace, backend=backend)
         for config in unique_configs
         for bench in benchmarks
     ]
@@ -224,6 +230,7 @@ def run_suite(
                 cache_hit=False,
                 duration_s=outcome.duration_s,
                 status=outcome.status,
+                backend=outcome.backend,
             ))
             continue
         results[job.config.label][job.benchmark.name] = result
@@ -244,6 +251,7 @@ def run_suite(
             bounds_checked=bounds.get("checked", 0),
             bounds_violations=bounds.get("violations", 0),
             trace=outcome.trace,
+            backend=outcome.backend,
         ))
 
     manifest = RunManifest.new(

@@ -114,6 +114,7 @@ def _run_simulate(canonical: dict, cache_root: str | None) -> dict:
         [canonical["trips"]] * canonical["invocations"],
         memory=MemorySystem(machine.timings),
         seed=canonical["seed"],
+        backend=canonical.get("backend") or None,
     )
     return {
         "loop": run.loop_name,
@@ -122,6 +123,7 @@ def _run_simulate(canonical: dict, cache_root: str | None) -> dict:
         "cycles_per_iteration": run.cycles_per_iteration,
         "iterations": run.total_iterations,
         "counters": counters_to_dict(run.counters),
+        "backend": run.backend,
     }
 
 
@@ -202,6 +204,7 @@ def _run_bench(canonical: dict, cache_root: str | None) -> dict:
         suite_name=canonical["suite"],
         verify=canonical["verify"],
         trace=canonical["trace"],
+        backend=canonical.get("backend", ""),
     )
     manifest = run.manifest
     gains = {

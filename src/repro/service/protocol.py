@@ -35,6 +35,11 @@ JOB_KINDS = ("compile", "simulate", "trace", "fuzz", "bench")
 SUITES = ("cpu2006", "cpu2000", "micro")
 POLICIES = tuple(policy.value for policy in HintPolicy)
 INJECT_MODES = ("none", "drop-edge")
+#: simulator backend choices; "" = the session default.  The backend is
+#: an execution hint, not a result-determining field — both backends are
+#: bit-identical — so :func:`request_key` strips it before hashing and
+#: cached results are shared across backends.
+BACKENDS = ("", "interp", "fast")
 
 #: request body size cap mirrored by the HTTP layer
 MAX_LOOP_BYTES = 1 << 20
@@ -164,11 +169,11 @@ def _normalize_spaces(payload: dict) -> dict:
 
 
 def _normalize_simulate(payload: dict, kind: str = "simulate") -> dict:
-    _reject_unknown(
-        kind, payload,
-        {"loop", "trips", "invocations", "spaces", "seed"} | _CONFIG_KEYS,
-    )
-    return {
+    known = {"loop", "trips", "invocations", "spaces", "seed"} | _CONFIG_KEYS
+    if kind == "simulate":  # traced runs pin the interpreter
+        known.add("backend")
+    _reject_unknown(kind, payload, known)
+    canonical = {
         "loop": _loop_text(payload),
         **_config_fields(payload),
         "trips": _int(payload, "trips", 1000, lo=1, hi=10_000_000),
@@ -176,6 +181,9 @@ def _normalize_simulate(payload: dict, kind: str = "simulate") -> dict:
         "spaces": _normalize_spaces(payload),
         "seed": _int(payload, "seed", 11, lo=0, hi=2**31 - 1),
     }
+    if kind == "simulate":
+        canonical["backend"] = _choice(payload, "backend", "", BACKENDS)
+    return canonical
 
 
 def _normalize_trace(payload: dict) -> dict:
@@ -198,7 +206,8 @@ def _normalize_fuzz(payload: dict) -> dict:
 def _normalize_bench(payload: dict) -> dict:
     _reject_unknown(
         "bench", payload,
-        {"suite", "benchmarks", "configs", "seed", "verify", "trace"}
+        {"suite", "benchmarks", "configs", "seed", "verify", "trace",
+         "backend"}
         | _CONFIG_KEYS - {"policy"},
     )
     suite = _choice(payload, "suite", None, SUITES)
@@ -225,6 +234,7 @@ def _normalize_bench(payload: dict) -> dict:
         "seed": _int(payload, "seed", 2008, lo=0, hi=2**31 - 1),
         "verify": _bool(payload, "verify", False),
         "trace": _bool(payload, "trace", False),
+        "backend": _choice(payload, "backend", "", BACKENDS),
     }
 
 
@@ -266,11 +276,16 @@ def request_key(kind: str, canonical: dict) -> str:
     This is the job id, the dedup key, and the artifact-store key, all in
     one: the SHA-256 of the canonical JSON (plus the schema version, so a
     schema change invalidates stored results instead of mis-serving them).
+
+    The ``backend`` field is stripped before hashing: the interpreter and
+    the fast replayer are bit-identical, so a stored result satisfies a
+    resubmission under either backend — the choice is provenance, never
+    content.
     """
     return hash_key({
         "schema": SCHEMA_VERSION,
         "kind": kind,
-        "request": canonical,
+        "request": {k: v for k, v in canonical.items() if k != "backend"},
     })
 
 

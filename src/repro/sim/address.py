@@ -89,9 +89,27 @@ class LoopStreams:
     #: reference uid -> address array (length n_iters + lookahead)
     by_ref: dict[int, np.ndarray] = field(default_factory=dict)
     lookahead: int = 0
+    #: lazily-built plain-list form of each stream, shared across
+    #: invocations by the fast replayer (scalar list indexing beats
+    #: per-access numpy scalar extraction by an order of magnitude);
+    #: keyed by ``id(array)`` so line-group members sharing one array
+    #: convert once
+    _list_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     def addresses(self, ref: MemRef) -> np.ndarray:
         return self.by_ref[ref.uid]
+
+    def as_list(self, uid: int) -> list:
+        """The stream for ``uid`` as a list of Python ints (cached)."""
+        arr = self.by_ref[uid]
+        key = id(arr)
+        lst = self._list_cache.get(key)
+        if lst is None:
+            lst = arr.tolist()
+            self._list_cache[key] = (lst, arr)
+        else:
+            lst = lst[0]
+        return lst
 
 
 def _stream_key(ref: MemRef) -> tuple:

@@ -1,0 +1,1355 @@
+"""The fast simulator backend: a compiled schedule replayer.
+
+:func:`repro.sim.core.run_iterations` is a faithful per-cycle
+interpreter: every kernel iteration walks every ``OpExec`` record,
+re-reads its fields, re-checks sink flags, constructs an
+``AccessResult`` per memory request and funnels every cache probe
+through four layers of method calls.  That is the right shape for the
+*reference* semantics — and the wall-clock bottleneck of every sweep,
+fuzz campaign and nightly run.
+
+This module *compiles* the schedule instead.  :func:`compile_kernel`
+lowers an :class:`ExecutionSetup` once per (loop, machine) into a
+:class:`CompiledKernel`: per-op schedule tables (issue rows, stages,
+wait edges, load slots as numpy arrays, kept for analysis and tests)
+plus a generated, specialised ``replay`` function in which
+
+* the op sequence is unrolled into straight-line code with every
+  schedule constant (row, stage, wait omegas, prefetch distances,
+  stream bindings) baked in as literals, so nothing is dispatched or
+  unpacked per instance;
+* pure register ops with no load-produced operands are elided entirely
+  (the interpreter provably does nothing for them);
+* kernel iterations are split into prologue / steady-state / epilogue
+  ranges, so the steady loop — where every stage is live — runs with
+  no instance-bounds checks at all;
+* stall-on-use resolves against per-slot completion tables held as
+  plain float lists, and the OzQ is an inline binary heap whose
+  full-window accounting only engages on contention;
+* the whole memory walk is compiled in: TLB install/evict, the
+  L1D/L2/L3 lookup–fill–evict chain, bank occupancy — straight dict
+  operations on the live :class:`MemorySystem` state, with no method
+  calls and no ``AccessResult`` objects on any path.  A
+  most-recently-used shortcut on top turns repeat touches of the same
+  page/line (the steady state of strided streams) into a couple of
+  integer compares.
+
+Correctness is structural, not statistical: the generated code performs
+the same arithmetic in the same order with the same IEEE-754 values as
+the interpreter, and every cache/TLB/bank mutation is replicated
+exactly (the MRU shortcut only skips ``move_to_end`` calls that are
+provably no-ops).  The differential suite
+(``tests/test_sim_fastpath.py``) holds every :class:`PerfCounters`
+field bit-identical across backends for all workload suites and the
+fuzz regression corpus.
+
+Runs the fast path cannot replay at all — traced runs (an attached
+:class:`TraceSink`), instrumented ``MemorySystem`` or cache/TLB
+subclasses — fall back to the interpreter wholesale;
+:func:`fast_replay_supported` is the gate the executor consults.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.sim.cache import Cache
+from repro.sim.core import ExecutionSetup
+from repro.sim.counters import PerfCounters
+from repro.sim.memory import MemorySystem
+from repro.sim.tlb import TLB
+
+#: replay-program op kinds
+_KIND_WAIT_ONLY = 0
+_KIND_LOAD = 1
+_KIND_STORE = 2
+_KIND_PREFETCH = 3
+
+_NEG_INF = float("-inf")
+
+
+class CompiledKernel:
+    """Precompiled replay tables + generated code for one setup.
+
+    The numpy arrays describe the *whole* schedule (one entry per
+    loop-body op, in issue order) and exist for analysis and tests;
+    ``program`` is the executed subset as flat tuples ``(row, stage,
+    waits, load_slot, kind, is_fp, pf_dist, pf_l2_only, ref_uid,
+    tag)``; :meth:`replay_for` returns the generated function for
+    a given memory system's geometry (``source`` holds the latest
+    variant's text).
+    """
+
+    __slots__ = (
+        "ii",
+        "stage_count",
+        "num_loads",
+        "loop_name",
+        "rows",
+        "stages",
+        "load_slots",
+        "wait_dst",
+        "wait_slot",
+        "wait_omega",
+        "program",
+        "elided_ops",
+        "ref_uids",
+        "source",
+        "_variants",
+    )
+
+    def __init__(self, setup: ExecutionSetup) -> None:
+        self.ii = setup.ii
+        self.stage_count = setup.stage_count
+        self.num_loads = setup.num_loads
+        self.loop_name = setup.loop_name
+
+        ops = setup.ops
+        self.rows = np.array([op.row for op in ops], dtype=np.int32)
+        self.stages = np.array([op.stage for op in ops], dtype=np.int32)
+        self.load_slots = np.array(
+            [op.load_slot for op in ops], dtype=np.int32
+        )
+        wait_dst: list[int] = []
+        wait_slot: list[int] = []
+        wait_omega: list[int] = []
+        for pos, op in enumerate(ops):
+            for slot, omega in op.waits:
+                wait_dst.append(pos)
+                wait_slot.append(slot)
+                wait_omega.append(omega)
+        self.wait_dst = np.array(wait_dst, dtype=np.int32)
+        self.wait_slot = np.array(wait_slot, dtype=np.int32)
+        self.wait_omega = np.array(wait_omega, dtype=np.int32)
+
+        program = []
+        elided = 0
+        for op in ops:
+            if op.ref_uid < 0 and not op.waits:
+                # a pure register op with no load-produced operands:
+                # the interpreter's body is provably a no-op for it
+                elided += 1
+                continue
+            if op.ref_uid < 0:
+                kind = _KIND_WAIT_ONLY
+            elif op.is_prefetch:
+                kind = _KIND_PREFETCH
+            elif op.is_load:
+                kind = _KIND_LOAD
+            else:
+                kind = _KIND_STORE
+            program.append((
+                op.row,
+                op.stage,
+                op.waits,
+                op.load_slot,
+                kind,
+                op.is_fp,
+                op.prefetch_distance,
+                op.prefetch_l2_only,
+                op.ref_uid,
+                op.tag,
+            ))
+        self.program = tuple(program)
+        self.elided_ops = elided
+
+        ref_uids: list[int] = []
+        for entry in program:
+            uid = entry[8]
+            if uid >= 0 and uid not in ref_uids:
+                ref_uids.append(uid)
+        self.ref_uids = tuple(ref_uids)
+
+        self.source = ""
+        self._variants: dict = {}
+
+    def replay_for(self, memory):
+        """The generated replay function, specialised to ``memory``'s
+        geometry (compiled on first use per geometry, then cached).
+
+        ``source`` holds the most recently generated variant's text."""
+        geom = _geometry(memory)
+        fn = self._variants.get(geom)
+        if fn is None:
+            self.source = _generate_source(self, geom)
+            namespace = {
+                "heappush": heapq.heappush,
+                "heappop": heapq.heappop,
+                "NEG_INF": _NEG_INF,
+                "INF": float("inf"),
+                "OrderedDict": OrderedDict,
+            }
+            exec(
+                compile(self.source, f"<kernel {self.loop_name}>", "exec"),
+                namespace,
+            )
+            fn = namespace["replay"]
+            self._variants[geom] = fn
+        return fn
+
+    def __getstate__(self):
+        # exec()-generated functions cannot cross a process boundary;
+        # shipping a kernel (e.g. inside a worker's result payload) drops
+        # the variant cache and the receiver recompiles lazily on use
+        state = {name: getattr(self, name) for name in self.__slots__}
+        state["_variants"] = {}
+        return state
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+
+
+def compile_kernel(setup: ExecutionSetup) -> CompiledKernel:
+    """The (memoised) compiled replayer for ``setup``."""
+    kernel = setup.kernel
+    if kernel is None:
+        kernel = CompiledKernel(setup)
+        setup.kernel = kernel
+    return kernel
+
+
+def fast_replay_supported(memory, sink=None) -> bool:
+    """Whether the compiled replayer can run this configuration.
+
+    The fast path inlines the memory-system walk, so any instrumented
+    subclass (sampling memories, fixed-latency test doubles) and any
+    attached trace sink routes to the interpreter instead — silently,
+    because both backends are bit-identical anyway.
+    """
+    return (
+        sink is None
+        and type(memory) is MemorySystem
+        and memory.sink is None
+        and type(memory.l1d) is Cache
+        and type(memory.l2) is Cache
+        and type(memory.l3) is Cache
+        and type(memory.tlb) is TLB
+    )
+
+
+def _build_pack(kernel: CompiledKernel, streams, restart_uids) -> list:
+    """Flat (stream list, base multiplier) pairs in ``ref_uids`` order.
+
+    The multiplier is 0 for references that restart at stream position
+    0 each invocation (reused spaces) and 1 for streaming references,
+    so the generated code derives each invocation's stream base with
+    one integer multiply.
+    """
+    pack = []
+    for uid in kernel.ref_uids:
+        pack.append(streams.as_list(uid))
+        pack.append(0 if uid in restart_uids else 1)
+    return pack
+
+
+def run_iterations_fast(
+    kernel: CompiledKernel,
+    streams,
+    stream_base: int,
+    n: int,
+    memory: MemorySystem,
+    ozq_capacity: int,
+    counters: PerfCounters,
+    start_cycle: float = 0.0,
+    restart_uids: frozenset | set = frozenset(),
+) -> float:
+    """Replay ``n`` source iterations; returns the finish cycle.
+
+    Drop-in equivalent of :func:`repro.sim.core.run_iterations` for
+    untraced runs on a plain :class:`MemorySystem`: every counter,
+    completion time and piece of cache/TLB/bank state comes out
+    bit-identical.  ``restart_uids`` lists reference uids whose streams
+    restart at position 0 each invocation (reused spaces); all other
+    references index their streams at ``stream_base + i``.
+    """
+    if n <= 0:
+        return start_cycle
+    pack = _build_pack(kernel, streams, restart_uids)
+    return kernel.replay_for(memory)(
+        [n], start_cycle, memory, counters, ozq_capacity, pack,
+        stream_base, 0.0, 0.0, 0.0, 0.0, 0,
+    )
+
+
+def run_invocations_fast(
+    kernel: CompiledKernel,
+    streams,
+    trips: list,
+    memory: MemorySystem,
+    ozq_capacity: int,
+    counters: PerfCounters,
+    start_cycle: float = 0.0,
+    restart_uids: frozenset | set = frozenset(),
+    *,
+    overhead: float = 0.0,
+    rse: float = 0.0,
+    flush: float = 0.0,
+    fe: float = 0.0,
+    spill_instr: int = 0,
+) -> float:
+    """Replay a whole invocation sequence in one generated call.
+
+    Equivalent to the executor's per-invocation loop — fixed costs
+    (``overhead``/``rse``/``flush``/``fe``/``spill_instr``, applied
+    before every invocation in the executor's exact order) followed by
+    the kernel ranges — but with the setup preamble paid once instead
+    of per invocation.  Streaming references advance by each trip
+    count; ``restart_uids`` restart at 0.  Does not touch
+    ``counters.invocations`` (the caller owns that bookkeeping).
+    """
+    pack = _build_pack(kernel, streams, restart_uids)
+    return kernel.replay_for(memory)(
+        trips, start_cycle, memory, counters, ozq_capacity, pack,
+        0, overhead, rse, flush, fe, spill_instr,
+    )
+
+
+# --- code generation ----------------------------------------------------------
+
+def _geometry(memory) -> tuple:
+    """The machine-geometry tuple a generated variant is specialised to.
+
+    Every timing, size, associativity and bank constant the replay body
+    needs becomes a literal in the generated source — power-of-two sizes
+    compile to shifts and masks, and equal line sizes collapse the three
+    per-level line ids into one.  A variant is therefore only valid for
+    memory systems with exactly this geometry; :meth:`CompiledKernel.
+    replay_for` keys its variant cache on this tuple, so a mismatched
+    memory system simply compiles (and caches) its own variant.
+    """
+    t = memory.timings
+    tlb = memory.tlb
+    l1, l2, l3 = memory.l1d.config, memory.l2.config, memory.l3.config
+    return (
+        t.l1, t.l2, t.l3, t.memory, t.fp_extra,
+        tlb.page_size, tlb.entries, tlb.miss_penalty,
+        l1.line_size, l1.num_sets, l1.associativity,
+        l2.line_size, l2.num_sets, l2.associativity,
+        l3.line_size, l3.num_sets, l3.associativity,
+        bool(memory.bank_conflicts),
+        memory.L2_BANK_WIDTH, memory.L2_BANKS, memory.L2_BANK_OCCUPANCY,
+    )
+
+
+class _Gen:
+    """Per-variant generation context: geometry literals + site caches."""
+
+    def __init__(self, geom: tuple) -> None:
+        (self.t_l1, self.t_l2, self.t_l3, self.t_mem, self.fp_x,
+         self.page_size, self.tlb_entries, self.tlb_penalty,
+         self.l1_line, self.l1_nsets, self.l1_assoc,
+         self.l2_line, self.l2_nsets, self.l2_assoc,
+         self.l3_line, self.l3_nsets, self.l3_assoc,
+         self.bank_conflicts, self.bank_w, self.bank_n,
+         self.bank_occ) = geom
+        #: one ``line`` id serves every level when the line sizes agree
+        self.unified = self.l1_line == self.l2_line == self.l3_line
+        #: integer timings make the settled-hit latency chain foldable:
+        #: every term is an exact small integer in a float, so any
+        #: association of the sum is bit-identical to the interpreter's
+        self.fold = all(
+            isinstance(v, int)
+            for v in (self.t_l1, self.t_l2, self.fp_x, self.tlb_penalty)
+        )
+        #: per-op-site cache locals to seed in the preamble
+        self.site_locals: dict[str, str] = {}
+
+    @staticmethod
+    def div(expr: str, const: int) -> str:
+        """``expr // const`` as a shift when the divisor allows it."""
+        if const > 0 and const & (const - 1) == 0:
+            return f"{expr} >> {const.bit_length() - 1}"
+        return f"{expr} // {const}"
+
+    @staticmethod
+    def mod(expr: str, const: int) -> str:
+        """``expr % const`` as a mask when the modulus allows it."""
+        if const > 0 and const & (const - 1) == 0:
+            return f"{expr} & {const - 1}"
+        return f"{expr} % {const}"
+
+    def site(self, lvl: str, s: int) -> tuple[str, str]:
+        """(line, set-dict) cache local names for cache level ``lvl``
+        at op site ``s``, registered for preamble initialisation.
+
+        A site cache remembers the last line this *op* touched and the
+        authoritative set dict it lives in (set dicts are created once
+        and never replaced, so the reference cannot go stale).  Unlike
+        the global tail MRU it survives other ops touching other lines:
+        a repeat touch revalidates with one ``in`` check, still calls
+        ``move_to_end`` (LRU order stays exact), and skips the set-index
+        arithmetic and the set-dict lookup.
+        """
+        c, d = f"c{lvl[1]}_{s}", f"d{lvl[1]}_{s}"
+        self.site_locals[c] = "-1"
+        self.site_locals[d] = "()"
+        return c, d
+
+
+class _Emitter:
+    """Indentation-tracking line collector for the generated source."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.indent = 0
+
+    def emit(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def block(self, header: str) -> None:
+        self.emit(header)
+        self.indent += 1
+
+    def els(self, header: str = "else:") -> None:
+        """Close the open block and start its else/elif at the same level."""
+        self.indent -= 1
+        self.emit(header)
+        self.indent += 1
+
+    def end(self) -> None:
+        self.indent -= 1
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _emit_push(e: _Emitter, completion: str) -> None:
+    """OzQ push with exact became-full tracking (interp's ``push``).
+
+    Entries are bare completion times: the interpreter's tie-break
+    element only disambiguates pop *order* among equal times, and every
+    observable quantity (pop counts, popped values, full-window spans)
+    is invariant under that order, so the heap holds floats.
+    ``ozq_min``/``ozq_len`` shadow ``ozq[0]``/``len(ozq)`` so the
+    per-op drain test and capacity checks are single local compares.
+    """
+    if not completion.isidentifier():
+        e.emit(f"_c = {completion}")
+        completion = "_c"
+    e.emit(f"heappush(ozq, {completion})")
+    e.emit("ozq_len += 1")
+    e.block(f"if {completion} < ozq_min:")
+    e.emit(f"ozq_min = {completion}")
+    e.end()
+    e.block("if ozq_len >= cap and became_full_at is None:")
+    e.emit("became_full_at = now")
+    e.end()
+
+
+def _emit_drain(e: _Emitter) -> None:
+    """Inline interp ``drain``: pop settled entries, close full windows."""
+    e.block("while ozq_min <= now:")
+    e.emit("_done = heappop(ozq)")
+    e.emit("ozq_len -= 1")
+    e.block("if became_full_at is not None and ozq_len == capm1:")
+    e.emit("_full = _done - became_full_at")
+    e.block("if _full < 0.0:")
+    e.emit("_full = 0.0")
+    e.end()
+    e.emit("ozq_full += _full")
+    e.emit("became_full_at = None")
+    e.end()
+    e.emit("ozq_min = ozq[0] if ozq else INF")
+    e.end()
+
+
+def _emit_waits(
+    e: _Emitter, waits, stby: str, min_i: int = 0,
+    static_i: int | None = None,
+) -> None:
+    """Stall-on-use checks against the completion tables.
+
+    ``stby`` names this op's seeded stall-attribution local (one per
+    distinct tag), written back to ``stall_by_consumer`` at the end.
+    ``min_i`` is a proven lower bound on ``i`` at this emission site
+    (the steady-state loop guarantees ``i >= stage_count-1 - stage``),
+    letting the producer-exists guard drop when it cannot fail; with a
+    fully static ``i`` the guard resolves at generation time — an
+    unreachable wait vanishes and a live one indexes by literal.
+    """
+    for slot, omega in waits:
+        if static_i is not None:
+            if omega > static_i:
+                continue  # producer instance does not exist at this i
+            guard = False
+            e.emit(f"_r = comp{slot}[{static_i - omega}]")
+        elif omega > 0:
+            guard = omega > min_i
+            if guard:
+                e.block(f"if i >= {omega}:")
+            e.emit(f"_r = comp{slot}[i - {omega}]")
+        else:
+            guard = False
+            e.emit(f"_r = comp{slot}[i]")
+        e.block("if _r > now:")
+        e.emit("_w = _r - now")
+        e.emit("stall += _w")
+        e.emit("now += _w")
+        e.emit("be_exe += _w")
+        e.emit(f"{stby} += _w")
+        e.end()
+        if guard:
+            e.end()
+
+
+def _emit_clamp0(e: _Emitter, var: str) -> None:
+    """``var = max(0.0, var)`` with the interpreter's exact value."""
+    e.block(f"if {var} < 0.0:")
+    e.emit(f"{var} = 0.0")
+    e.end()
+
+
+def _emit_tlb(e: _Emitter, g: _Gen) -> None:
+    """Inline ``TLB.access``: sets ``penalty``, leaves ``page`` at tail.
+
+    ``tlb_mru`` caches the page at the LRU tail: a repeat touch of it
+    skips the dict probe and the (no-op) ``move_to_end``.  Both exits
+    leave ``page`` at the tail, so the cache stays valid.
+    """
+    e.block("if page == tlb_mru:")
+    e.emit("tlb_hits += 1")
+    e.emit("penalty = 0")
+    e.els()
+    e.block("if page in pages:")
+    e.emit("pages.move_to_end(page)")
+    e.emit("tlb_hits += 1")
+    e.emit("penalty = 0")
+    e.els()
+    e.emit("tlb_misses += 1")
+    e.block(f"if tlbn >= {g.tlb_entries}:")
+    e.emit("pages.popitem(last=False)")
+    e.els()
+    e.emit("tlbn += 1")
+    e.end()
+    e.emit("pages[page] = None")
+    e.emit(f"penalty = {g.tlb_penalty!r}")
+    e.end()
+    e.emit("tlb_mru = page")
+    e.end()
+
+
+def _emit_fill(
+    e: _Emitter, g: _Gen, lvl: str, rdy: str, site: tuple | None = None,
+    probe: str | None = None,
+) -> None:
+    """Inline ``Cache.fill`` for level ``lvl`` at ready-time var ``rdy``.
+
+    L1/L2 fills re-arm that level's global MRU shortcut (the filled line
+    ends at the tail of its set with exactly the stored ready time), and
+    ``site`` additionally re-arms the filling op's site cache.
+
+    Every fill follows a failed probe of the same set, so ``probe``
+    names the set dict (or ``None``) that probe already fetched — the
+    lookup is not repeated, and the set index is only recomputed on the
+    rare create branch.
+    """
+    arm = lvl in ("l1", "l2")
+    if g.unified:
+        lv = "line"
+    else:
+        lv = "_fl"
+        e.emit(f"_fl = {g.div('addr', getattr(g, lvl + '_line'))}")
+    if probe is None:
+        e.emit(f"_fs = {g.mod(lv, getattr(g, lvl + '_nsets'))}")
+        e.emit(f"_fw = {lvl}_get(_fs)")
+        set_expr = "_fs"
+    else:
+        e.emit(f"_fw = {probe}")
+        set_expr = g.mod(lv, getattr(g, lvl + "_nsets"))
+    e.block("if _fw is None:")
+    e.emit("_fw = OrderedDict()")
+    e.emit(f"{lvl}_sets[{set_expr}] = _fw")
+    e.emit(f"_fw[{lv}] = {rdy}")
+    if arm:
+        e.emit(f"{lvl}_mru = {lv}")
+        e.emit(f"{lvl}_mru_ready = {rdy}")
+    e.els(f"elif {lv} in _fw:")
+    e.emit(f"_fw.move_to_end({lv})")
+    e.emit(f"_old = _fw[{lv}]")
+    e.emit(f"_fw[{lv}] = {rdy} if {rdy} < _old else _old")
+    if arm:
+        e.emit(f"{lvl}_mru = {lv}")
+        e.emit(f"{lvl}_mru_ready = _fw[{lv}]")
+    e.els()
+    e.block(f"if len(_fw) >= {getattr(g, lvl + '_assoc')}:")
+    e.emit("_fw.popitem(last=False)")
+    e.end()
+    e.emit(f"_fw[{lv}] = {rdy}")
+    if arm:
+        e.emit(f"{lvl}_mru = {lv}")
+        e.emit(f"{lvl}_mru_ready = {rdy}")
+    e.end()
+    if site is not None:
+        e.emit(f"{site[0]} = {lv}")
+        e.emit(f"{site[1]} = _fw")
+
+
+def _emit_bank(e: _Emitter, g: _Gen) -> None:
+    """Inline ``_l2_bank_delay`` folded into ``_lat``.
+
+    ``bank_conflicts`` is part of the geometry, so only the taken branch
+    is generated (the disabled side keeps the interpreter's ``+ 0.0``).
+    """
+    if not g.bank_conflicts:
+        e.emit("_lat = _lat + 0.0")
+        return
+    e.emit(f"bank = {g.mod('(' + g.div('addr', g.bank_w) + ')', g.bank_n)}")
+    e.emit("_d = banks[bank] - now")
+    _emit_clamp0(e, "_d")
+    e.block("if _d > 0:")
+    e.emit("bank_cc += 1")
+    e.end()
+    e.emit(f"banks[bank] = now + _d + {g.bank_occ!r}")
+    e.emit("_lat = _lat + _d")
+
+
+def _emit_bank_state(e: _Emitter, g: _Gen) -> None:
+    """Bank occupancy update alone, when the latency result is unused
+    (a settled store hit stalls nothing and occupies nothing)."""
+    if not g.bank_conflicts:
+        return
+    e.emit(f"bank = {g.mod('(' + g.div('addr', g.bank_w) + ')', g.bank_n)}")
+    e.emit("_d = banks[bank] - now")
+    _emit_clamp0(e, "_d")
+    e.block("if _d > 0:")
+    e.emit("bank_cc += 1")
+    e.end()
+    e.emit(f"banks[bank] = now + _d + {g.bank_occ!r}")
+
+
+def _emit_l2hit_load(
+    e: _Emitter, g: _Gen, slot: int, is_fp: bool, ready: str,
+    l1site: tuple | None = None,
+) -> None:
+    """Load L2-hit consequences; ``ready`` names the line's ready time.
+
+    With integer timings the settled case (``ready <= now``, the steady
+    state) folds the whole pending chain away: ``_p`` is exactly 0.0,
+    so the latency collapses to one literal-plus-penalty add and the
+    OzQ push becomes unconditional, while the in-flight case skips the
+    clamp (``_p > 0`` by construction) and never pushes.
+    """
+    extra = repr(g.fp_x) if is_fp else "0"
+
+    def tail() -> None:
+        _emit_bank(e, g)
+        e.emit("_rdy = now + _lat")
+        if not is_fp:
+            _emit_fill(e, g, "l1", "_rdy", site=l1site, probe="_w1")
+        e.emit(f"comp{slot}[i] = _rdy")
+        e.emit("ll2 += 1")
+
+    if g.fold:
+        folded = float(g.t_l2 + (g.fp_x if is_fp else 0))
+        e.block(f"if {ready} <= now:")
+        e.emit(f"_lat = {folded!r} + penalty")
+        tail()
+        _emit_push(e, "_rdy")
+        e.els()
+        e.emit(f"_p = {ready} - now")
+        e.emit(f"_lat = {g.t_l2!r} + _p + penalty + {extra}")
+        tail()
+        e.end()
+    else:
+        e.emit(f"_p = {ready} - now")
+        _emit_clamp0(e, "_p")
+        e.emit(f"_lat = {g.t_l2!r} + _p + penalty + {extra}")
+        tail()
+        e.block("if _p == 0:")
+        _emit_push(e, "_rdy")
+        e.end()
+
+
+def _emit_l1hit(e: _Emitter, g: _Gen, slot: int, ready: str) -> None:
+    """Load L1-hit completion, settled case folded when timings allow."""
+    if g.fold:
+        e.block(f"if {ready} <= now:")
+        e.emit(f"comp{slot}[i] = now + ({float(g.t_l1)!r} + penalty)")
+        e.els()
+        e.emit(f"_p = {ready} - now")
+        e.emit(f"comp{slot}[i] = now + ({g.t_l1!r} + _p + penalty)")
+        e.end()
+    else:
+        e.emit(f"_p = {ready} - now")
+        _emit_clamp0(e, "_p")
+        e.emit(f"comp{slot}[i] = now + ({g.t_l1!r} + _p + penalty)")
+    e.emit("ll1 += 1")
+
+
+def _emit_l3_probe(e: _Emitter, g: _Gen) -> str:
+    """Emit the L3 set lookup; returns the probe line var name."""
+    if g.unified:
+        e.emit(f"_w3 = l3_get({g.mod('line', g.l3_nsets)})")
+        return "line"
+    e.emit(f"_l3l = {g.div('addr', g.l3_line)}")
+    e.emit(f"_w3 = l3_get({g.mod('_l3l', g.l3_nsets)})")
+    return "_l3l"
+
+
+def _emit_load_tail(
+    e: _Emitter, g: _Gen, slot: int, is_fp: bool,
+    l1site: tuple | None = None, l2site: tuple | None = None,
+) -> None:
+    """The L3 -> memory stretch of ``MemorySystem._load`` after an L2
+    miss (``l2_misses`` already counted by the caller)."""
+    extra = repr(g.fp_x) if is_fp else "0"
+    lv = _emit_l3_probe(e, g)
+    e.block(f"if _w3 is not None and {lv} in _w3:")
+    e.emit(f"_w3.move_to_end({lv})")
+    e.emit("l3_hits += 1")
+    e.emit(f"_p = _w3[{lv}] - now")
+    _emit_clamp0(e, "_p")
+    e.emit(f"_lat = {g.t_l3!r} + _p + penalty + {extra}")
+    e.emit("_rdy = now + _lat")
+    _emit_fill(e, g, "l2", "_rdy", site=l2site, probe="_w2")
+    if not is_fp:
+        _emit_fill(e, g, "l1", "_rdy", site=l1site, probe="_w1")
+    e.emit(f"comp{slot}[i] = _rdy")
+    e.emit("ll3 += 1")
+    e.block("if _p == 0:")
+    _emit_push(e, "_rdy")
+    e.end()
+    e.els()
+    e.emit("l3_misses += 1")
+    e.emit(f"_lat = {g.t_mem!r} + penalty + {extra}")
+    e.emit("_rdy = now + _lat")
+    _emit_fill(e, g, "l3", "_rdy", probe="_w3")
+    _emit_fill(e, g, "l2", "_rdy", site=l2site, probe="_w2")
+    if not is_fp:
+        _emit_fill(e, g, "l1", "_rdy", site=l1site, probe="_w1")
+    e.emit(f"comp{slot}[i] = _rdy")
+    e.emit("ll4 += 1")
+    _emit_push(e, "_rdy")
+    e.end()
+
+
+def _emit_load(
+    e: _Emitter, g: _Gen, slot: int, ref: int, is_fp: bool, s: int
+) -> None:
+    """A demand load: MRU shortcuts, then probe, then the lower levels.
+
+    Int loads resolve against the L1D; fp loads bypass it and resolve
+    against the L2.  Three tiers of shortcut: the global tail MRU (one
+    compare, no dict ops), the per-site cache (one ``in`` check plus the
+    exact ``move_to_end``), then the full set probe.  All tiers handle
+    settled and in-flight lines alike (an in-flight fill just charges
+    its remaining time), so interleaved strided streams each walk once
+    per line and shortcut the rest.
+    """
+    e.emit(f"addr = lst{ref}[sb{ref} + i]")
+    e.emit(f"page = {g.div('addr', g.page_size)}")
+    _emit_tlb(e, g)
+    if is_fp:
+        c2, d2 = g.site("l2", s)
+        e.emit(f"line = {g.div('addr', g.l2_line)}")
+        e.block("if line == l2_mru:")
+        e.emit("l2_hits += 1")
+        _emit_l2hit_load(e, g, slot, True, "l2_mru_ready")
+        e.els(f"elif line == {c2} and line in {d2}:")
+        e.emit(f"{d2}.move_to_end(line)")
+        e.emit("l2_hits += 1")
+        e.emit("l2_mru = line")
+        e.emit(f"l2_mru_ready = {d2}[line]")
+        _emit_l2hit_load(e, g, slot, True, "l2_mru_ready")
+        e.els()
+        e.emit(f"_w2 = l2_get({g.mod('line', g.l2_nsets)})")
+        e.block("if _w2 is not None and line in _w2:")
+        e.emit("_w2.move_to_end(line)")
+        e.emit("l2_hits += 1")
+        e.emit(f"{c2} = line")
+        e.emit(f"{d2} = _w2")
+        e.emit("l2_mru = line")
+        e.emit("l2_mru_ready = _w2[line]")
+        _emit_l2hit_load(e, g, slot, True, "l2_mru_ready")
+        e.els()
+        e.emit("l2_misses += 1")
+        _emit_load_tail(e, g, slot, True, l2site=(c2, d2))
+        e.end()
+        e.end()
+    else:
+        c1, d1 = g.site("l1", s)
+        e.emit(f"line = {g.div('addr', g.l1_line)}")
+        e.block("if line == l1_mru:")
+        e.emit("l1_hits += 1")
+        _emit_l1hit(e, g, slot, "l1_mru_ready")
+        e.els(f"elif line == {c1} and line in {d1}:")
+        e.emit(f"{d1}.move_to_end(line)")
+        e.emit("l1_hits += 1")
+        e.emit("l1_mru = line")
+        e.emit(f"l1_mru_ready = {d1}[line]")
+        _emit_l1hit(e, g, slot, "l1_mru_ready")
+        e.els()
+        e.emit(f"_w1 = l1_get({g.mod('line', g.l1_nsets)})")
+        e.block("if _w1 is not None and line in _w1:")
+        e.emit("_w1.move_to_end(line)")
+        e.emit("l1_hits += 1")
+        e.emit(f"{c1} = line")
+        e.emit(f"{d1} = _w1")
+        e.emit("l1_mru = line")
+        e.emit("l1_mru_ready = _w1[line]")
+        _emit_l1hit(e, g, slot, "l1_mru_ready")
+        e.els()
+        e.emit("l1_misses += 1")
+        if g.unified:
+            lv2 = "line"
+        else:
+            lv2 = "_l2l"
+            e.emit(f"_l2l = {g.div('addr', g.l2_line)}")
+        e.emit(f"_w2 = l2_get({g.mod(lv2, g.l2_nsets)})")
+        e.block(f"if _w2 is not None and {lv2} in _w2:")
+        e.emit(f"_w2.move_to_end({lv2})")
+        e.emit("l2_hits += 1")
+        e.emit(f"l2_mru = {lv2}")
+        e.emit(f"l2_mru_ready = _w2[{lv2}]")
+        _emit_l2hit_load(e, g, slot, False, "l2_mru_ready", l1site=(c1, d1))
+        e.els()
+        e.emit("l2_misses += 1")
+        _emit_load_tail(e, g, slot, False, l1site=(c1, d1))
+        e.end()
+        e.end()
+        e.end()
+
+
+def _emit_store(e: _Emitter, g: _Gen, ref: int, s: int) -> None:
+    """A store: write-through L2, no fp surcharge, hits occupy nothing.
+
+    The MRU and site-cache paths need no ready-time check at all:
+    settled or pending, an L2 store hit only bumps the hit counters and
+    the bank state.
+    """
+    c2, d2 = g.site("l2", s)
+    e.emit(f"addr = lst{ref}[sb{ref} + i]")
+    e.emit(f"page = {g.div('addr', g.page_size)}")
+    _emit_tlb(e, g)
+    e.emit(f"line = {g.div('addr', g.l2_line)}")
+    e.block("if line == l2_mru:")
+    e.emit("l2_hits += 1")
+    _emit_bank_state(e, g)
+    e.els(f"elif line == {c2} and line in {d2}:")
+    e.emit(f"{d2}.move_to_end(line)")
+    e.emit("l2_hits += 1")
+    e.emit("l2_mru = line")
+    e.emit(f"l2_mru_ready = {d2}[line]")
+    _emit_bank_state(e, g)
+    e.els()
+    e.emit(f"_w2 = l2_get({g.mod('line', g.l2_nsets)})")
+    e.block("if _w2 is not None and line in _w2:")
+    e.emit("_w2.move_to_end(line)")
+    e.emit("l2_hits += 1")
+    e.emit(f"{c2} = line")
+    e.emit(f"{d2} = _w2")
+    e.emit("l2_mru = line")
+    e.emit("l2_mru_ready = _w2[line]")
+    # the interpreter computes the hit latency here too, but a store hit
+    # feeds nothing and occupies nothing — only the bank state matters
+    _emit_bank_state(e, g)
+    e.els()
+    e.emit("l2_misses += 1")
+    lv = _emit_l3_probe(e, g)
+    e.block(f"if _w3 is not None and {lv} in _w3:")
+    e.emit(f"_w3.move_to_end({lv})")
+    e.emit("l3_hits += 1")
+    e.emit(f"_p = _w3[{lv}] - now")
+    _emit_clamp0(e, "_p")
+    e.emit(f"_lat = {g.t_l3!r} + _p + penalty")
+    e.emit("_rdy = now + _lat")
+    _emit_fill(e, g, "l2", "_rdy", site=(c2, d2), probe="_w2")
+    e.block("if _p == 0:")
+    _emit_push(e, "_rdy")
+    e.end()
+    e.els()
+    e.emit("l3_misses += 1")
+    e.emit(f"_lat = {g.t_mem!r} + penalty")
+    e.emit("_rdy = now + _lat")
+    _emit_fill(e, g, "l3", "_rdy", probe="_w3")
+    _emit_fill(e, g, "l2", "_rdy", site=(c2, d2), probe="_w2")
+    _emit_push(e, "_rdy")
+    e.end()
+    e.end()
+    e.end()
+
+
+def _emit_prefetch_tail(
+    e: _Emitter, g: _Gen, fill_l1: bool,
+    l1site: tuple | None = None, l2site: tuple | None = None,
+) -> None:
+    """The L3 -> memory stretch of ``MemorySystem._prefetch`` after an
+    L2 miss (``l2_misses`` already counted by the caller)."""
+    lv = _emit_l3_probe(e, g)
+    e.block(f"if _w3 is not None and {lv} in _w3:")
+    e.emit(f"_w3.move_to_end({lv})")
+    e.emit("l3_hits += 1")
+    e.emit(f"_p = _w3[{lv}] - now")
+    _emit_clamp0(e, "_p")
+    e.emit(f"_lat = {g.t_l3!r} + _p + penalty")
+    e.emit("_rdy = now + _lat")
+    _emit_fill(e, g, "l2", "_rdy", site=l2site, probe="_w2")
+    if fill_l1:
+        _emit_fill(e, g, "l1", "_rdy", site=l1site, probe="_w1")
+    e.emit("pf_issued += 1")
+    e.block("if _p == 0:")
+    _emit_push(e, "_rdy")
+    e.end()
+    e.els()
+    e.emit("l3_misses += 1")
+    e.emit(f"_lat = {g.t_mem!r} + penalty")
+    e.emit("_rdy = now + _lat")
+    _emit_fill(e, g, "l3", "_rdy", probe="_w3")
+    _emit_fill(e, g, "l2", "_rdy", site=l2site, probe="_w2")
+    if fill_l1:
+        _emit_fill(e, g, "l1", "_rdy", site=l1site, probe="_w1")
+    e.emit("pf_issued += 1")
+    _emit_push(e, "_rdy")
+    e.end()
+
+
+def _emit_prefetch(
+    e: _Emitter, g: _Gen, ref: int, dist: int, l2_only: bool,
+    is_fp: bool, s: int,
+) -> None:
+    """An ``lfetch``: dropped past stream end or on a full OzQ, then
+    resolved like a load but producing no value (and no L1 fill for
+    ``l2_only``/fp variants), per ``MemorySystem._prefetch``."""
+    e.emit(f"pos = sb{ref} + i + {dist}")
+    e.block(f"if pos < ln{ref}:")
+    e.block("if ozq_len >= cap:")
+    e.emit("pf_dropped += 1")  # hardware drops hints on a full queue
+    e.els()
+    e.emit(f"addr = lst{ref}[pos]")
+    e.emit(f"page = {g.div('addr', g.page_size)}")
+    _emit_tlb(e, g)
+    if is_fp:
+        c2, d2 = g.site("l2", s)
+        e.emit(f"line = {g.div('addr', g.l2_line)}")
+        e.block("if line == l2_mru:")
+        e.emit("l2_hits += 1")
+        e.emit("pf_issued += 1")
+        e.emit("_p = l2_mru_ready - now")
+        e.block("if _p > 0.0:")
+        _emit_push(e, "now + 0.0")
+        e.end()
+        e.els(f"elif line == {c2} and line in {d2}:")
+        e.emit(f"{d2}.move_to_end(line)")
+        e.emit("l2_hits += 1")
+        e.emit("l2_mru = line")
+        e.emit(f"l2_mru_ready = {d2}[line]")
+        e.emit("_p = l2_mru_ready - now")
+        _emit_clamp0(e, "_p")
+        e.emit("pf_issued += 1")
+        e.block("if _p > 0:")
+        _emit_push(e, "now + 0.0")
+        e.end()
+        e.els()
+        e.emit(f"_w2 = l2_get({g.mod('line', g.l2_nsets)})")
+        e.block("if _w2 is not None and line in _w2:")
+        e.emit("_w2.move_to_end(line)")
+        e.emit("l2_hits += 1")
+        e.emit(f"{c2} = line")
+        e.emit(f"{d2} = _w2")
+        e.emit("l2_mru = line")
+        e.emit("l2_mru_ready = _w2[line]")
+        e.emit("_p = l2_mru_ready - now")
+        _emit_clamp0(e, "_p")
+        e.emit("pf_issued += 1")
+        e.block("if _p > 0:")
+        _emit_push(e, "now + 0.0")
+        e.end()
+        e.els()
+        e.emit("l2_misses += 1")
+        _emit_prefetch_tail(e, g, fill_l1=False, l2site=(c2, d2))
+        e.end()
+        e.end()
+    else:
+        # the L1 probe happens even for l2_only; only the fill is
+        # suppressed — and an L1 hit issues with no other effect
+        c1, d1 = g.site("l1", s)
+        l2site = g.site("l2", s) if l2_only else None
+        e.emit(f"line = {g.div('addr', g.l1_line)}")
+        e.block("if line == l1_mru:")
+        e.emit("l1_hits += 1")
+        e.emit("pf_issued += 1")
+        e.els(f"elif line == {c1} and line in {d1}:")
+        e.emit(f"{d1}.move_to_end(line)")
+        e.emit("l1_hits += 1")
+        e.emit("l1_mru = line")
+        e.emit(f"l1_mru_ready = {d1}[line]")
+        e.emit("pf_issued += 1")
+        e.els()
+        e.emit(f"_w1 = l1_get({g.mod('line', g.l1_nsets)})")
+        e.block("if _w1 is not None and line in _w1:")
+        e.emit("_w1.move_to_end(line)")
+        e.emit("l1_hits += 1")
+        e.emit(f"{c1} = line")
+        e.emit(f"{d1} = _w1")
+        e.emit("l1_mru = line")
+        e.emit("l1_mru_ready = _w1[line]")
+        e.emit("pf_issued += 1")
+        e.els()
+        e.emit("l1_misses += 1")
+        if g.unified:
+            lv2 = "line"
+        else:
+            lv2 = "_l2l"
+            e.emit(f"_l2l = {g.div('addr', g.l2_line)}")
+        if l2site is not None:
+            e.block(f"if {lv2} == {l2site[0]} and {lv2} in {l2site[1]}:")
+            e.emit(f"{l2site[1]}.move_to_end({lv2})")
+            e.emit("l2_hits += 1")
+            e.emit(f"l2_mru = {lv2}")
+            e.emit(f"l2_mru_ready = {l2site[1]}[{lv2}]")
+            e.emit("_p = l2_mru_ready - now")
+            _emit_clamp0(e, "_p")
+            e.emit("pf_issued += 1")
+            e.block("if _p > 0:")
+            _emit_push(e, "now + 0.0")
+            e.end()
+            e.els()
+        e.emit(f"_w2 = l2_get({g.mod(lv2, g.l2_nsets)})")
+        e.block(f"if _w2 is not None and {lv2} in _w2:")
+        e.emit(f"_w2.move_to_end({lv2})")
+        e.emit("l2_hits += 1")
+        if l2site is not None:
+            e.emit(f"{l2site[0]} = {lv2}")
+            e.emit(f"{l2site[1]} = _w2")
+        e.emit(f"l2_mru = {lv2}")
+        e.emit(f"l2_mru_ready = _w2[{lv2}]")
+        e.emit("_p = l2_mru_ready - now")
+        _emit_clamp0(e, "_p")
+        if not l2_only:
+            e.emit(f"_l1rdy = now + {g.t_l2!r} + (_p or 0)")
+            _emit_fill(e, g, "l1", "_l1rdy", site=(c1, d1), probe="_w1")
+        e.emit("pf_issued += 1")
+        e.block("if _p > 0:")
+        _emit_push(e, "now + 0.0")
+        e.end()
+        e.els()
+        e.emit("l2_misses += 1")
+        _emit_prefetch_tail(
+            e, g, fill_l1=not l2_only,
+            l1site=None if l2_only else (c1, d1), l2site=l2site,
+        )
+        e.end()
+        if l2site is not None:
+            e.end()
+        e.end()
+        e.end()
+    e.end()  # closes the ozq-cap else
+    e.end()  # closes the stream-bound if
+
+
+def _emit_op(
+    e: _Emitter, g: _Gen, entry: tuple, s: int, ref_index: dict,
+    tag_index: dict, guarded: bool, min_k: int = 0,
+    k_lit: int | None = None, epi_j: int | None = None,
+    base: str = "base", base_add: int = 0,
+) -> None:
+    """One schedule slot.  Three emission contexts:
+
+    * generic (``k_lit``/``epi_j`` None): ``i`` from the loop var ``k``,
+      the stage guard per ``guarded``, wait guards relaxed by ``min_k``;
+    * static iteration (``k_lit``): the caller proved this op instance
+      live, so ``i`` is a literal, guards vanish, and dead waits drop;
+    * unrolled epilogue slot ``epi_j`` (``k = n + epi_j``): ``i`` is
+      ``n - (stage - epi_j)``, in range by the caller's stage filter.
+
+    ``base``/``base_add`` name the issue-cycle base so unrolled contexts
+    fold ``k * ii`` into the row constant.
+    """
+    (row, stage, waits, load_slot, kind, is_fp,
+     pf_dist, pf_l2o, ref_uid, tag) = entry
+    static_i = None
+    if k_lit is not None:
+        static_i = k_lit - stage
+        e.emit(f"i = {static_i}")
+    elif epi_j is not None:
+        d = stage - epi_j
+        e.emit(f"i = n - {d}" if d else "i = n")
+    else:
+        e.emit(f"i = k - {stage}" if stage else "i = k")
+    if guarded:
+        e.block("if 0 <= i < n:")
+    off = base_add + row
+    e.emit(f"now = {base} + {off} + stall" if off else f"now = {base} + stall")
+    # in the steady loop k >= stage_count-1, so i >= min_k - stage and
+    # wait guards with omega at or below that bound cannot fail
+    _emit_waits(
+        e, waits, f"stby{tag_index[tag]}", max(0, min_k - stage), static_i
+    )
+    if kind != _KIND_WAIT_ONLY:
+        _emit_drain(e)
+        ref = ref_index[ref_uid]
+        if kind == _KIND_PREFETCH:
+            _emit_prefetch(e, g, ref, pf_dist, pf_l2o, is_fp, s)
+        else:
+            # demand access: stall while the OzQ is full
+            e.block("if ozq_len >= cap:")
+            e.emit("_w = ozq_min - now")
+            e.block("if _w > 0:")
+            e.emit("stall += _w")
+            e.emit("now += _w")
+            e.emit("be_l1d += _w")
+            e.end()
+            _emit_drain(e)
+            e.end()
+            if kind == _KIND_LOAD:
+                _emit_load(e, g, load_slot, ref, is_fp, s)
+            else:
+                _emit_store(e, g, ref, s)
+    if guarded:
+        e.end()
+
+
+def _generate_source(kernel: CompiledKernel, geom: tuple) -> str:
+    """The ``replay`` source for this kernel at this machine geometry.
+
+    One call replays a whole *sequence* of invocations: the hoist
+    preamble (live memory/counter objects, stream bindings, site-cache
+    seeds) runs once, the per-invocation fixed costs are accounted
+    inline in the executor's exact order, and the kernel ranges re-run
+    per trip count.  Geometry is baked in as literals (shifts and masks
+    where sizes allow).  Counter locals are seeded from the live objects
+    and written back at the end, so every float accumulates in the
+    interpreter's order; the integer tallies (hits/misses/levels)
+    commute and ride as deltas.
+    """
+    ii = kernel.ii
+    scm1 = kernel.stage_count - 1
+    g = _Gen(geom)
+    ref_index = {uid: r for r, uid in enumerate(kernel.ref_uids)}
+    prefetch_refs = sorted({
+        ref_index[entry[8]]
+        for entry in kernel.program
+        if entry[4] == _KIND_PREFETCH
+    })
+    tags: list[str] = []
+    for entry in kernel.program:
+        if entry[9] not in tags:
+            tags.append(entry[9])
+    tag_index = {tag: j for j, tag in enumerate(tags)}
+
+    # pre-pass so the preamble can seed every site-cache local the op
+    # bodies will reference
+    scratch = _Emitter()
+    for s, entry in enumerate(kernel.program):
+        _emit_op(scratch, g, entry, s, ref_index, tag_index, guarded=True)
+
+    e = _Emitter()
+    e.block(
+        "def replay(trips, start_cycle, memory, counters, cap, pack, rb, "
+        "overhead, rse, flush, fe, spill_instr):"
+    )
+    if kernel.ref_uids:
+        names = ", ".join(
+            f"lst{r}, st{r}" for r in range(len(kernel.ref_uids))
+        )
+        e.emit(f"({names},) = pack")
+    for r in prefetch_refs:
+        e.emit(f"ln{r} = len(lst{r})")
+    e.emit("tlb = memory.tlb")
+    e.emit("pages = tlb._pages")
+    # TLB occupancy as a local: it only grows through this code, so the
+    # capacity test needs no len() call per miss
+    e.emit("tlbn = len(pages)")
+    e.emit("l1 = memory.l1d")
+    e.emit("l1_sets = l1._sets")
+    e.emit("l1_get = l1_sets.get")
+    e.emit("l2 = memory.l2")
+    e.emit("l2_sets = l2._sets")
+    e.emit("l2_get = l2_sets.get")
+    e.emit("l3 = memory.l3")
+    e.emit("l3_sets = l3._sets")
+    e.emit("l3_get = l3_sets.get")
+    if g.bank_conflicts:
+        e.emit("banks = memory._bank_busy_until")
+    # float counters as locals seeded from their current values, so the
+    # accumulation order (and with it every rounding step) is exactly
+    # the interpreter's plus the executor's fixed-cost interleave
+    e.emit("loads_level = counters.loads_by_level")
+    e.emit("loads_level_get = loads_level.get")
+    e.emit("stall_by = counters.stall_by_consumer")
+    e.emit("stall_by_get = stall_by.get")
+    for tag, j in tag_index.items():
+        e.emit(f"stby{j} = stall_by_get({tag!r}, 0.0)")
+    e.emit("be_exe = counters.be_exe_bubble")
+    e.emit("be_l1d = counters.be_l1d_fpu_bubble")
+    e.emit("ozq_full = counters.ozq_full_cycles")
+    e.emit("pf_issued = counters.prefetches_issued")
+    e.emit("pf_dropped = counters.prefetches_dropped_ozq")
+    e.emit("u = counters.unstalled")
+    e.emit("brse = counters.be_rse_bubble")
+    e.emit("bflush = counters.be_flush_bubble")
+    e.emit("bfe = counters.back_end_bubble_fe")
+    e.emit("spill_cnt = counters.spill_instructions")
+    e.emit("ki_total = counters.kernel_iterations")
+    e.emit("src_total = counters.source_iterations")
+    e.emit("tlb_hits = 0")
+    e.emit("tlb_misses = 0")
+    e.emit("l1_hits = 0")
+    e.emit("l1_misses = 0")
+    e.emit("l2_hits = 0")
+    e.emit("l2_misses = 0")
+    e.emit("l3_hits = 0")
+    e.emit("l3_misses = 0")
+    e.emit("bank_cc = 0")
+    e.emit("ll1 = 0")
+    e.emit("ll2 = 0")
+    e.emit("ll3 = 0")
+    e.emit("ll4 = 0")
+    # MRU shortcut state: the last page/line touched at each level sits
+    # at the tail of its LRU order, so a repeat touch may skip the
+    # (no-op) move_to_end; probes and fills re-arm these, and memory
+    # state persists across invocations so the cache stays warm too
+    e.emit("tlb_mru = -1")
+    e.emit("l1_mru = -1")
+    e.emit("l1_mru_ready = 0.0")
+    e.emit("l2_mru = -1")
+    e.emit("l2_mru_ready = 0.0")
+    for name, init in g.site_locals.items():
+        e.emit(f"{name} = {init}")
+    e.emit("cycle = start_cycle")
+    e.emit("capm1 = cap - 1")
+
+    e.block("for n in trips:")
+    # per-invocation fixed costs, in simulate_loop's exact order
+    e.emit("spill_cnt += spill_instr")
+    e.emit("brse += rse")
+    e.emit("bflush += flush")
+    e.emit("bfe += fe")
+    e.emit("u += overhead")
+    e.emit("cycle += overhead + rse + flush + fe")
+    e.block("if n > 0:")
+    for r in range(len(kernel.ref_uids)):
+        e.emit(f"sb{r} = rb * st{r}")
+    for slot in range(kernel.num_loads):
+        e.emit(f"comp{slot} = [NEG_INF] * n")
+    e.emit("ozq = []")
+    e.emit("ozq_min = INF")
+    e.emit("ozq_len = 0")
+    e.emit("stall = 0.0")
+    e.emit("became_full_at = None")
+    e.emit(f"kernel_iters = n + {scm1}")
+    e.emit("sc = cycle")
+    prog = list(enumerate(kernel.program))
+    # fill/drain phases unroll when the schedule is shallow enough: the
+    # stage filter is then decidable per slot, so guards and dead op
+    # instances vanish entirely (short-trip loops spend most of their
+    # time there).  Deep schedules keep the generic guarded loops.
+    unroll = 0 < scm1 <= 8 and len(prog) * scm1 * scm1 <= 1000
+    if unroll:
+        e.block(f"if n >= {scm1}:")
+        # prologue, unrolled: at iteration k only stages <= k have a
+        # live instance, and i = k - stage < scm1 <= n needs no bound
+        for k in range(scm1):
+            for s, entry in prog:
+                if entry[1] <= k:
+                    _emit_op(
+                        e, g, entry, s, ref_index, tag_index,
+                        guarded=False, k_lit=k, base="sc", base_add=k * ii,
+                    )
+        e.block(f"for k in range({scm1}, n):")
+        e.emit(f"base = sc + k * {ii}")
+        for s, entry in prog:
+            _emit_op(
+                e, g, entry, s, ref_index, tag_index, guarded=False,
+                min_k=scm1,
+            )
+        e.end()
+        # epilogue, unrolled: at k = n + j only stages > j still have
+        # an instance, and i = n + j - stage >= n - scm1 >= 0
+        e.emit(f"_scn = sc + n * {ii}")
+        for j in range(scm1):
+            for s, entry in prog:
+                if entry[1] > j:
+                    _emit_op(
+                        e, g, entry, s, ref_index, tag_index,
+                        guarded=False, epi_j=j, min_k=scm1 + j,
+                        base="_scn", base_add=j * ii,
+                    )
+        # short trips: every (k, op) liveness test is decidable once n
+        # is fixed, so each trip count below scm1 gets straight-line
+        # code with literal indices (these branches are exhaustive —
+        # the n > 0 wrapper leaves n >= 1)
+        for nv in range(1, scm1):
+            e.els(f"elif n == {nv}:")
+            for k in range(nv + scm1):
+                for s, entry in prog:
+                    if 0 <= k - entry[1] < nv:
+                        _emit_op(
+                            e, g, entry, s, ref_index, tag_index,
+                            guarded=False, k_lit=k, base="sc",
+                            base_add=k * ii,
+                        )
+        e.end()
+    else:
+        # prologue: stages still filling, instance bounds checked
+        if scm1:
+            e.block(f"for k in range({scm1}):")
+            e.emit(f"base = sc + k * {ii}")
+            for s, entry in prog:
+                _emit_op(e, g, entry, s, ref_index, tag_index, guarded=True)
+            e.end()
+        # steady state: every stage live, no bounds checks
+        e.block(f"for k in range({scm1}, n):")
+        e.emit(f"base = sc + k * {ii}")
+        for s, entry in prog:
+            _emit_op(
+                e, g, entry, s, ref_index, tag_index, guarded=False,
+                min_k=scm1,
+            )
+        e.end()
+        # epilogue: stages draining
+        if scm1:
+            e.block(
+                f"for k in range(n if n > {scm1} else {scm1}, kernel_iters):"
+            )
+            e.emit(f"base = sc + k * {ii}")
+            for s, entry in prog:
+                _emit_op(e, g, entry, s, ref_index, tag_index, guarded=True)
+            e.end()
+    e.emit(f"u += kernel_iters * {ii}")
+    e.emit("ki_total += kernel_iters")
+    e.emit("src_total += n")
+    e.emit(f"cycle = sc + kernel_iters * {ii} + stall")
+    e.end()  # if n > 0
+    e.emit("rb += n")
+    e.end()  # for n in trips
+
+    e.emit("counters.be_exe_bubble = be_exe")
+    e.emit("counters.be_l1d_fpu_bubble = be_l1d")
+    e.emit("counters.ozq_full_cycles = ozq_full")
+    e.emit("counters.prefetches_issued = pf_issued")
+    e.emit("counters.prefetches_dropped_ozq = pf_dropped")
+    e.emit("counters.unstalled = u")
+    e.emit("counters.be_rse_bubble = brse")
+    e.emit("counters.be_flush_bubble = bflush")
+    e.emit("counters.back_end_bubble_fe = bfe")
+    e.emit("counters.spill_instructions = spill_cnt")
+    e.emit("counters.kernel_iterations = ki_total")
+    e.emit("counters.source_iterations = src_total")
+    for tag, j in tag_index.items():
+        # only materialise tags the interpreter would have created
+        e.block(f"if stby{j} != 0.0 or {tag!r} in stall_by:")
+        e.emit(f"stall_by[{tag!r}] = stby{j}")
+        e.end()
+    for lvl in (1, 2, 3, 4):
+        e.block(f"if ll{lvl}:")
+        e.emit(
+            f"loads_level[{lvl}] = loads_level_get({lvl}, 0) + ll{lvl}"
+        )
+        e.end()
+    e.emit("tlb.hits += tlb_hits")
+    e.emit("tlb.misses += tlb_misses")
+    e.emit("l1.hits += l1_hits")
+    e.emit("l1.misses += l1_misses")
+    e.emit("l2.hits += l2_hits")
+    e.emit("l2.misses += l2_misses")
+    e.emit("l3.hits += l3_hits")
+    e.emit("l3.misses += l3_misses")
+    e.emit("memory.bank_conflict_count += bank_cc")
+    e.emit("return cycle")
+    e.end()
+    return e.source()

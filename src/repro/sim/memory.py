@@ -21,7 +21,7 @@ DEFAULT_L2 = CacheConfig("L2D", size=256 * 1024, line_size=128, associativity=8)
 DEFAULT_L3 = CacheConfig("L3", size=12 * 1024 * 1024, line_size=128, associativity=12)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessResult:
     """Outcome of one demand access."""
 

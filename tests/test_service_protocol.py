@@ -40,6 +40,7 @@ def test_defaults_are_filled_and_stable():
         "seed": 2008,
         "verify": False,
         "trace": False,
+        "backend": "",
     }
 
 

@@ -1,0 +1,232 @@
+"""The fast replay backend's safety net: bit-identity everywhere.
+
+The fast backend (:mod:`repro.sim.fastpath`) is a compiled replayer for
+the per-cycle interpreter, and its entire contract is *bit-identity*:
+every cycle total and every :class:`PerfCounters` field must match the
+interpreter exactly, on every workload, under caching and parallelism,
+and inside the SA5xx static bounds.  These tests are that contract —
+plus the cache-sharing property: the backend choice must never enter a
+content address, so a result computed under one backend serves the
+other.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.config import CompilerConfig, SimBackend, baseline_config
+from repro.core.compiler import LoopCompiler
+from repro.harness import run_suite
+from repro.harness.jobs import (
+    counters_to_dict,
+    loop_run_key,
+    run_loops,
+)
+from repro.ir import parse_loop
+from repro.machine import ItaniumMachine
+from repro.sim import MemorySystem, simulate_loop
+from repro.sim.fastpath import compile_kernel
+from repro.workloads import micro_suite, suite_by_name
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+def _outcome_digest(outcome) -> tuple:
+    """Everything observable about one run, as a comparable value."""
+    return (
+        outcome.loop_cycles,
+        tuple(sorted(counters_to_dict(outcome.counters).items(),
+                     key=lambda kv: kv[0])),
+    )
+
+
+class TestBackendBitIdentity:
+    """interp and fast agree on every field, for every workload."""
+
+    @pytest.mark.parametrize("suite", ["micro", "cpu2006", "cpu2000"])
+    def test_full_suite_identical(self, machine, suite):
+        config = baseline_config()
+        for bench in suite_by_name(suite):
+            interp = run_loops(bench, config, machine, 2008,
+                               backend="interp")
+            fast = run_loops(bench, config, machine, 2008, backend="fast")
+            assert _outcome_digest(interp) == _outcome_digest(fast), (
+                f"backend divergence on {bench.name}"
+            )
+
+    def test_default_config_identical_on_micro(self, machine):
+        # a second config exercises different schedules/hints
+        config = CompilerConfig()
+        for bench in micro_suite():
+            interp = run_loops(bench, config, machine, 2008,
+                               backend="interp")
+            fast = run_loops(bench, config, machine, 2008, backend="fast")
+            assert _outcome_digest(interp) == _outcome_digest(fast)
+
+    def test_corpus_replays_identical(self, machine):
+        """Every fuzz-corpus regression reproducer replays bit-identically."""
+        from repro.sim.address import StreamSpec
+
+        loops = sorted(CORPUS_DIR.glob("*.loop"))
+        assert loops, "fuzz corpus is missing"
+        compiler = LoopCompiler(machine, CompilerConfig())
+        for path in loops:
+            loop = parse_loop(path.read_text(encoding="utf-8"))
+            compiled = compiler.compile(loop)
+            layout = {
+                ref.space: StreamSpec(size=1 << 20)
+                for ref in loop.memrefs
+            }
+            runs = {}
+            for backend in ("interp", "fast"):
+                run = simulate_loop(
+                    compiled.result, machine, layout, [64, 7],
+                    memory=MemorySystem(machine.timings),
+                    backend=backend,
+                )
+                runs[backend] = (run.cycles,
+                                 counters_to_dict(run.counters))
+            assert runs["interp"] == runs["fast"], (
+                f"corpus divergence on {path.name}"
+            )
+
+
+class TestManifestsAndBounds:
+    """Suite sweeps agree across backends, workers and the cache."""
+
+    def test_micro_fingerprints_match_cached_and_parallel(self, tmp_path):
+        suite = micro_suite()
+        configs = [baseline_config()]
+        interp = run_suite(suite, configs, workers=1, backend="interp")
+        # parallel + cold cache
+        fast = run_suite(
+            suite, configs, workers=2, cache=tmp_path / "cache",
+            backend="fast",
+        )
+        # serial + warm cache (every cell a hit)
+        cached = run_suite(
+            suite, configs, workers=1, cache=tmp_path / "cache",
+            backend="fast",
+        )
+        fp = interp.manifest.fingerprint()
+        assert fast.manifest.fingerprint() == fp
+        assert cached.manifest.fingerprint() == fp
+        assert all(cell.cache_hit for cell in cached.manifest.cells)
+        # the backend is provenance: recorded per cell, outside the digest
+        assert {c.backend for c in fast.manifest.cells} == {"fast"}
+        assert {c.backend for c in interp.manifest.cells} == {"interp"}
+
+    def test_bounds_hold_on_fast_backend(self):
+        """SA5xx static bounds: zero violations with the fast replayer."""
+        run = run_suite(
+            micro_suite(), [baseline_config()], workers=1,
+            verify=True, backend="fast",
+        )
+        assert run.manifest.bounds_checked > 0
+        assert run.manifest.bounds_violations == 0
+        assert all(not c.verify_errors for c in run.manifest.cells)
+
+
+class TestBackendOutsideContentAddresses:
+    """The backend never enters a cache key or request key."""
+
+    def test_loop_run_key_has_no_backend(self, machine):
+        bench = micro_suite()[0]
+        key = loop_run_key(bench, baseline_config(), machine, 2008)
+        assert "backend" not in str(key)
+
+    def test_cache_entry_shared_across_backends(self, machine, tmp_path):
+        from repro.harness.cache import ArtifactCache
+        from repro.harness.jobs import cached_loop_run
+
+        bench = [b for b in micro_suite() if b.name == "micro.lowtrip"][0]
+        cache = ArtifactCache(tmp_path / "cache")
+        config = baseline_config()
+        first, hit1 = cached_loop_run(
+            bench, config, machine, 2008, cache, backend="interp"
+        )
+        second, hit2 = cached_loop_run(
+            bench, config, machine, 2008, cache, backend="fast"
+        )
+        assert (not hit1) and hit2  # the interp entry served the fast run
+        assert _outcome_digest(first) == _outcome_digest(second)
+
+    def test_service_request_key_strips_backend(self):
+        from repro.service.protocol import normalize_request, request_key
+
+        loop = "memref A affine stride=4 space=a\nloop l trips=8\n  ld4 r1 = [r2], 4 !A\n"
+        keys = set()
+        for backend in ("", "interp", "fast"):
+            canonical = normalize_request(
+                "simulate", {"loop": loop, "backend": backend}
+            )
+            assert canonical["backend"] == backend
+            keys.add(request_key("simulate", canonical))
+        assert len(keys) == 1
+        bench_keys = {
+            request_key("bench", normalize_request(
+                "bench", {"suite": "micro", "backend": backend}
+            ))
+            for backend in ("", "interp", "fast")
+        }
+        assert len(bench_keys) == 1
+
+
+class TestBackendSelection:
+    """Selection, fallback and the compiled-kernel machinery itself."""
+
+    def test_parse_and_default(self):
+        assert SimBackend.parse(None) is not None
+        assert SimBackend.parse("interp") is SimBackend.INTERP
+        assert SimBackend.parse("fast") is SimBackend.FAST
+        assert SimBackend.parse(SimBackend.FAST) is SimBackend.FAST
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            SimBackend.parse("turbo")
+
+    def test_result_records_backend(self, machine, running_example):
+        from repro.sim.address import StreamSpec
+
+        compiled = LoopCompiler(machine, baseline_config()).compile(
+            running_example
+        )
+        layout = {"a": StreamSpec(size=1 << 20),
+                  "b": StreamSpec(size=1 << 20)}
+        fast = simulate_loop(compiled.result, machine, layout, [50],
+                             backend="fast")
+        interp = simulate_loop(compiled.result, machine, layout, [50],
+                               backend="interp")
+        assert fast.backend == "fast"
+        assert interp.backend == "interp"
+        assert fast.cycles == interp.cycles
+
+    def test_traced_run_falls_back_to_interp(self, machine, running_example):
+        from repro.sim.address import StreamSpec
+        from repro.trace.events import CaptureSink
+
+        compiled = LoopCompiler(machine, baseline_config()).compile(
+            running_example
+        )
+        layout = {"a": StreamSpec(size=1 << 20),
+                  "b": StreamSpec(size=1 << 20)}
+        run = simulate_loop(
+            compiled.result, machine, layout, [50],
+            sink=CaptureSink(), backend="fast",
+        )
+        assert run.backend == "interp"  # silent, bit-identical downgrade
+
+    def test_kernel_variants_cached_per_geometry(self, machine,
+                                                 running_example):
+        from repro.sim.core import prepare_execution
+
+        compiled = LoopCompiler(machine, baseline_config()).compile(
+            running_example
+        )
+        kernel = compile_kernel(prepare_execution(compiled.result, machine))
+        memory = MemorySystem(machine.timings)
+        replay = kernel.replay_for(memory)
+        assert callable(replay)
+        assert kernel.replay_for(MemorySystem(machine.timings)) is replay

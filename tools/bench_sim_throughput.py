@@ -1,0 +1,232 @@
+#!/usr/bin/env python
+"""Measure simulator replay throughput: interpreter vs fast backend.
+
+For every hot loop of a suite this compiles the loop once, builds its
+address streams once, and then times the *replay* of the full invocation
+sequence — :func:`repro.sim.core.run_iterations` against
+:func:`repro.sim.fastpath.run_iterations_fast` — on identical inputs.
+Compile time, stream synthesis and the cache pre-warm are excluded from
+both sides (they are backend-independent one-time costs); what remains
+is exactly the per-cycle work the fast backend exists to accelerate.
+
+Every timed pair is also an equality check: the final cycle count and
+every :class:`PerfCounters` field must come out bit-identical, or the
+run aborts.  A throughput number from a wrong simulator is worse than
+no number.
+
+The JSON report (``--out``, canonically
+``benchmarks/results/BENCH_sim_throughput.json``) is the repo's
+perf-trajectory artifact: successive commits append comparable numbers,
+and CI gates on ``--min-speedup``.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_sim_throughput.py \
+        --out benchmarks/results/BENCH_sim_throughput.json --min-speedup 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import baseline_config
+from repro.core.compiler import LoopCompiler
+from repro.harness.jobs import _stable, collect_profile, counters_to_dict
+from repro.machine.itanium2 import ItaniumMachine
+from repro.sim.address import build_streams
+from repro.sim.core import prepare_execution, run_iterations
+from repro.sim.counters import PerfCounters
+from repro.sim.executor import _prewarm_resident_regions, _run_invocation
+from repro.sim.fastpath import compile_kernel, run_invocations_fast
+from repro.sim.memory import MemorySystem
+from repro.workloads.spec import suite_by_name
+
+
+@dataclasses.dataclass
+class _Prepared:
+    """One loop's replay inputs, shared verbatim by both backends."""
+
+    benchmark: str
+    loop_name: str
+    result: object
+    setup: object
+    kernel: object
+    layout: dict
+    streams: object
+    trips: list
+    restart_uids: set
+
+
+def _prepare(suite: str, seed: int, machine: ItaniumMachine) -> list[_Prepared]:
+    config = baseline_config()
+    prepared: list[_Prepared] = []
+    for bench in suite_by_name(suite):
+        profile = collect_profile(bench, seed) if config.pgo else None
+        compiler = LoopCompiler(machine, config)
+        for pos, lw in enumerate(bench.loops):
+            loop, layout = lw.build()
+            compiled = compiler.compile(loop, profile)
+            rng = np.random.default_rng(seed + pos * 977 + _stable(bench.name))
+            trips = [int(t) for t in lw.data.ref.sample(rng, lw.invocations)]
+            total = sum(trips)
+            stream_len = max(total, max(trips) if trips else 0)
+            streams = build_streams(
+                compiled.result.loop, layout, stream_len, seed=seed + pos
+            )
+            reuse = {s for s, spec in layout.items() if spec.reuse}
+            restart = {
+                inst.memref.uid
+                for inst in compiled.result.loop.body
+                if inst.memref is not None and inst.memref.space in reuse
+            }
+            setup = prepare_execution(compiled.result, machine)
+            prepared.append(_Prepared(
+                benchmark=bench.name,
+                loop_name=loop.name,
+                result=compiled.result,
+                setup=setup,
+                kernel=compile_kernel(setup),
+                layout=layout,
+                streams=streams,
+                trips=trips,
+                restart_uids=restart,
+            ))
+    return prepared
+
+
+def _replay(p: _Prepared, machine: ItaniumMachine, backend: str):
+    """One full timed replay: (seconds, final cycle, counters)."""
+    memory = MemorySystem(machine.timings)
+    _prewarm_resident_regions(p.result, p.layout, p.streams, memory)
+    counters = PerfCounters()
+    cap = machine.ozq_capacity
+    restart_frozen = frozenset(p.restart_uids)
+    cycle = 0.0
+    base = 0
+    start = time.perf_counter()
+    if backend == "fast":
+        cycle = run_invocations_fast(
+            p.kernel, p.streams, p.trips, memory, cap, counters,
+            cycle, restart_frozen,
+        )
+    else:
+        for n in p.trips:
+            cycle = _run_invocation(
+                p.setup, p.streams, p.restart_uids, base, n, memory, cap,
+                counters, cycle,
+            )
+            base += n
+    elapsed = time.perf_counter() - start
+    return elapsed, cycle, counters
+
+
+def run_bench(
+    suite: str, seed: int, repeats: int, machine: ItaniumMachine | None = None
+) -> dict:
+    """The full measurement: per-loop and aggregate throughput + identity."""
+    machine = machine or ItaniumMachine()
+    prepared = _prepare(suite, seed, machine)
+    cells = []
+    tot_cycles = 0.0
+    tot_interp = 0.0
+    tot_fast = 0.0
+    for p in prepared:
+        interp_s = fast_s = float("inf")
+        ref = None
+        for _ in range(repeats):
+            ei, cycle_i, counters_i = _replay(p, machine, "interp")
+            ef, cycle_f, counters_f = _replay(p, machine, "fast")
+            di = counters_to_dict(counters_i)
+            df = counters_to_dict(counters_f)
+            if cycle_i != cycle_f or di != df:
+                diffs = [k for k in di if di[k] != df.get(k)]
+                raise SystemExit(
+                    f"BACKEND MISMATCH on {p.benchmark}/{p.loop_name}: "
+                    f"cycles {cycle_i} vs {cycle_f}, fields {diffs}"
+                )
+            interp_s = min(interp_s, ei)
+            fast_s = min(fast_s, ef)
+            ref = cycle_i
+        tot_cycles += ref
+        tot_interp += interp_s
+        tot_fast += fast_s
+        cells.append({
+            "benchmark": p.benchmark,
+            "loop": p.loop_name,
+            "sim_cycles": ref,
+            "interp_s": interp_s,
+            "fast_s": fast_s,
+            "interp_cycles_per_s": ref / interp_s,
+            "fast_cycles_per_s": ref / fast_s,
+            "speedup": interp_s / fast_s,
+        })
+    return {
+        "version": 1,
+        "suite": suite,
+        "seed": seed,
+        "repeats": repeats,
+        "config": baseline_config().label,
+        "identical": True,
+        "cells": cells,
+        "aggregate": {
+            "sim_cycles": tot_cycles,
+            "interp_s": tot_interp,
+            "fast_s": tot_fast,
+            "interp_cycles_per_s": tot_cycles / tot_interp,
+            "fast_cycles_per_s": tot_cycles / tot_fast,
+            "speedup": tot_interp / tot_fast,
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", default="micro")
+    parser.add_argument("--seed", type=int, default=2008)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per loop (best-of)")
+    parser.add_argument("--out", default="",
+                        help="write the JSON report here")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="fail unless aggregate speedup reaches this")
+    args = parser.parse_args(argv)
+
+    report = run_bench(args.suite, args.seed, args.repeats)
+    agg = report["aggregate"]
+    for cell in report["cells"]:
+        print(
+            f"{cell['benchmark']:>12}/{cell['loop']:<18} "
+            f"interp {cell['interp_cycles_per_s']:>12,.0f} cyc/s   "
+            f"fast {cell['fast_cycles_per_s']:>12,.0f} cyc/s   "
+            f"{cell['speedup']:5.2f}x"
+        )
+    print(
+        f"{'aggregate':>31} "
+        f"interp {agg['interp_cycles_per_s']:>12,.0f} cyc/s   "
+        f"fast {agg['fast_cycles_per_s']:>12,.0f} cyc/s   "
+        f"{agg['speedup']:5.2f}x"
+    )
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {path}")
+    if args.min_speedup and agg["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: aggregate speedup {agg['speedup']:.2f}x "
+            f"< required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
