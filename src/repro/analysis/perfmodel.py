@@ -34,9 +34,20 @@ cycle.  Otherwise latencies are unbounded (a stride-0 store genuinely
 grows the backlog without limit) and the affected upper bounds become
 infinite — the checks are skipped, never wrong.
 
-The static model assumes the default :class:`~repro.sim.memory.MemorySystem`
-construction (default cache geometry, default TLB, bank conflicts on),
-which is what the harness, the fuzzer and the CLI build.
+Every term is re-derived from the machine's declarative
+:class:`~repro.machine.description.MachineDescription` — TLB walk
+penalty, L2 bank geometry, queue capacity and discipline, scoreboard
+policy — matching the :class:`~repro.sim.memory.MemorySystem` the
+machine's ``memory_system()`` builds (which is what the harness, the
+fuzzer and the CLI run).  Machine policies adjust the bounds:
+
+* **load-delay tracking** hides up to ``tracking_window`` cycles of
+  every use-stall, so each load *instance* exposes at most
+  ``max(0, L_max - d - W)`` cycles (a per-instance bound: windows of 1);
+* **a speculative LSQ** subtracts ``runahead`` cycles from every load's
+  data latency before the residual, and adds an exactly-accounted
+  replay term: ``slsq_replay_cycles == slsq_replays * replay_penalty``
+  with at most one replay per load execution (none without stores).
 """
 
 from __future__ import annotations
@@ -57,8 +68,6 @@ from repro.sim.executor import (
     RSE_CYCLES_PER_REG,
     SPILL_CYCLES,
 )
-from repro.sim.memory import MemorySystem
-from repro.sim.tlb import TLB
 
 #: float slack for bound comparisons — absorbs summation-order noise only
 REL_TOL = 1e-9
@@ -151,6 +160,13 @@ class StaticPerfModel:
     ozq_zero_proof: bool = False
     #: every load site's residual is zero: BE_EXE_BUBBLE is provably zero
     zero_stall_proof: bool = False
+    #: machine policies the bounds were derived from
+    queue_kind: str = "ozq"
+    scoreboard_kind: str = "stall-on-use"
+    tracking_window: int = 0
+    replay_penalty: int = 0
+    #: distinct (consumer, load slot, omega) wait edges per iteration
+    n_use_edges: int = 0
 
     # --- derived totals -----------------------------------------------------
     def _split_trips(self, trips) -> tuple[int, list[int], int, int]:
@@ -181,6 +197,14 @@ class StaticPerfModel:
             return 0.0
         return demand * self.l_max
 
+    def replay_bound(self, trips) -> float:
+        """Max speculative-LSQ replay cycles: one replay per load
+        execution, none at all without a store to misspeculate against."""
+        if self.queue_kind != "slsq" or not self.n_store_ops:
+            return 0.0
+        _, _, iters, _ = self._split_trips(trips)
+        return float(self.replay_penalty * self.n_load_ops * iters)
+
     def cycle_interval(self, trips) -> tuple[float, float]:
         """``[lower, upper]`` on the total simulated cycles for ``trips``."""
         invocations, _, _, kernel = self._split_trips(trips)
@@ -188,7 +212,12 @@ class StaticPerfModel:
             invocations * self.fixed_cycles_per_invocation()
             + self.ii * kernel
         )
-        upper = lower + self.be_exe_bound(trips) + self.be_l1d_bound(trips)
+        upper = (
+            lower
+            + self.be_exe_bound(trips)
+            + self.be_l1d_bound(trips)
+            + self.replay_bound(trips)
+        )
         return lower, upper
 
     # --- static-only findings ----------------------------------------------
@@ -284,7 +313,12 @@ class StaticPerfModel:
                 self.stacked * RSE_CYCLES_PER_REG * invocations,
             ),
             "be_flush_bubble": (
-                counters.be_flush_bubble, FLUSH_CYCLES * invocations
+                counters.be_flush_bubble,
+                FLUSH_CYCLES * invocations
+                # LSQ replays are pipeline flushes; the sub-counter
+                # closes the bucket identity exactly
+                + (counters.slsq_replay_cycles
+                   if self.queue_kind == "slsq" else 0.0),
             ),
             "back_end_bubble_fe": (
                 counters.back_end_bubble_fe, FRONTEND_CYCLES * invocations
@@ -305,6 +339,68 @@ class StaticPerfModel:
                 f"{counters.total_cycles}",
                 loop=loop,
                 detail={"cycles": cycles, "buckets": counters.total_cycles},
+            )
+
+        # machine-policy sub-counters: exactly accounted and capped
+        if self.queue_kind == "slsq":
+            want_cycles = counters.slsq_replays * float(self.replay_penalty)
+            if not _eq(counters.slsq_replay_cycles, want_cycles):
+                report.add(
+                    "SA512",
+                    f"slsq_replay_cycles {counters.slsq_replay_cycles} != "
+                    f"{counters.slsq_replays} replays x penalty "
+                    f"{self.replay_penalty}",
+                    loop=loop,
+                    detail={
+                        "slsq_replay_cycles": counters.slsq_replay_cycles,
+                        "slsq_replays": counters.slsq_replays,
+                        "replay_penalty": self.replay_penalty,
+                    },
+                )
+            replay_cap = (
+                self.n_load_ops * iters if self.n_store_ops else 0
+            )
+            if counters.slsq_replays > replay_cap:
+                report.add(
+                    "SA511",
+                    f"slsq_replays: counted {counters.slsq_replays}, at "
+                    f"most {replay_cap} load executions can misspeculate",
+                    loop=loop,
+                    detail={
+                        "slsq_replays": counters.slsq_replays,
+                        "cap": replay_cap,
+                    },
+                )
+        elif counters.slsq_replays or counters.slsq_replay_cycles:
+            report.add(
+                "SA512",
+                f"machine queue is {self.queue_kind!r} but LSQ replay "
+                f"counters are non-zero ({counters.slsq_replays} replays)",
+                loop=loop,
+                detail={"slsq_replays": counters.slsq_replays},
+            )
+        if self.scoreboard_kind == "load-delay-tracking":
+            hidden_cap = (
+                float(self.tracking_window) * self.n_use_edges * iters
+            )
+            if not _leq(counters.ldt_hidden_cycles, hidden_cap):
+                report.add(
+                    "SA513",
+                    f"ldt_hidden_cycles {counters.ldt_hidden_cycles} exceed "
+                    f"window x use-edge executions = {hidden_cap}",
+                    loop=loop,
+                    detail={
+                        "ldt_hidden_cycles": counters.ldt_hidden_cycles,
+                        "cap": hidden_cap,
+                    },
+                )
+        elif counters.ldt_hidden_cycles:
+            report.add(
+                "SA513",
+                f"machine scoreboard is {self.scoreboard_kind!r} but "
+                f"{counters.ldt_hidden_cycles} cycles were hidden",
+                loop=loop,
+                detail={"ldt_hidden_cycles": counters.ldt_hidden_cycles},
             )
 
         be_exe_ub = self.be_exe_bound(positive)
@@ -444,13 +540,19 @@ class StaticPerfModel:
                 "zero_proof": self.ozq_zero_proof,
             },
             "zero_stall_proof": self.zero_stall_proof,
+            "machine": {
+                "queue": self.queue_kind,
+                "scoreboard": self.scoreboard_kind,
+                "tracking_window": self.tracking_window,
+                "replay_penalty": self.replay_penalty,
+            },
             "sites": [s.to_dict() for s in self.sites],
         }
 
 
 # --- model construction -------------------------------------------------------
 
-def _bank_rate_burst(ref: MemRef, layout) -> tuple[float, float]:
+def _bank_rate_burst(ref: MemRef, layout, geometry) -> tuple[float, float]:
     """Leaky-bucket arrival bound of one reference onto any single L2 bank.
 
     For a known stride ``s`` in a space of ``S`` bytes, one bank receives
@@ -458,10 +560,11 @@ def _bank_rate_burst(ref: MemRef, layout) -> tuple[float, float]:
     address progress, plus one extra run whenever the stream wraps at the
     space boundary (streams are generated modulo the space size).  Unknown
     strides, indirect/chase patterns and invariant addresses can hit one
-    bank every execution: rate 1.
+    bank every execution: rate 1.  ``geometry`` is the machine's
+    :class:`~repro.machine.description.BankGeometry`.
     """
-    width = MemorySystem.L2_BANK_WIDTH
-    banks = MemorySystem.L2_BANKS
+    width = geometry.width
+    banks = geometry.banks
     spec = layout.get(ref.space) if layout else None
     stride = None
     if ref.pattern is AccessPattern.AFFINE:
@@ -512,39 +615,61 @@ def build_perf_model(
     ]
     prefetch_ops = [i for i in loop.body if i.is_prefetch and i.memref is not None]
 
+    description = machine.description
+
     # L2 bank backlog: provable iff the summed arrival rate fits in the
     # bank's service rate of II / OCC arrivals per iteration
-    occupancy = MemorySystem.L2_BANK_OCCUPANCY
-    rate_sum = 0.0
-    burst_sum = 0.0
-    for inst in demand_loads + demand_stores:
-        rate, burst = _bank_rate_burst(inst.memref, layout)
-        rate_sum += rate
-        burst_sum += burst
-    bank_rho = occupancy * rate_sum / ii
-    bank_provable = bank_rho <= 1.0 + REL_TOL
-    bank_delay_max = (
-        occupancy * (rate_sum + burst_sum) if bank_provable else _INF
-    )
+    if description.banks.enabled:
+        occupancy = description.banks.occupancy
+        rate_sum = 0.0
+        burst_sum = 0.0
+        for inst in demand_loads + demand_stores:
+            rate, burst = _bank_rate_burst(
+                inst.memref, layout, description.banks
+            )
+            rate_sum += rate
+            burst_sum += burst
+        bank_rho = occupancy * rate_sum / ii
+        bank_provable = bank_rho <= 1.0 + REL_TOL
+        bank_delay_max = (
+            occupancy * (rate_sum + burst_sum) if bank_provable else _INF
+        )
+    else:
+        bank_rho = 0.0
+        bank_provable = True
+        bank_delay_max = 0.0
 
     # latency ceiling: full hierarchy walk + pending-fill chain (each link
     # adds one TLB walk and one FP-conversion cycle) + bank backlog
     t = machine.timings
-    walk = TLB()  # the default TLB the simulator's MemorySystem builds
+    walk_penalty = description.tlb.miss_penalty
     l_max = (
         t.l1 + t.l2 + t.l3 + t.memory
-        + 4 * (walk.miss_penalty + t.fp_extra)
+        + 4 * (walk_penalty + t.fp_extra)
         + bank_delay_max
+    )
+    # a speculative LSQ issues loads `runahead` cycles early, so the
+    # *data* latency a consumer can wait on is uniformly lower (the OzQ
+    # occupancy term below keeps the full l_max: entries live until the
+    # fill actually completes)
+    l_max_data = l_max
+    if description.queue.kind == "slsq":
+        l_max_data = max(1.0, l_max - description.queue.runahead)
+    tracking_window = (
+        description.scoreboard.tracking_window
+        if description.scoreboard.kind == "load-delay-tracking" else 0
     )
 
     # min data-use distance per load, mirroring the simulator's stall-on-
     # use wait construction (flow edges off the load's data result)
     d_by_load: dict[int, int] = {}
+    use_edges: set[tuple[int, int, int]] = set()
     for edge in result.ddg.edges:
         if edge.kind is not DepKind.FLOW or not edge.src.is_load:
             continue
         if edge.reg not in edge.src.defs:
             continue
+        use_edges.add((edge.dst.index, edge.src.index, edge.omega))
         dist = times[edge.dst] + ii * edge.omega - times[edge.src]
         prev = d_by_load.get(edge.src.index)
         d_by_load[edge.src.index] = dist if prev is None else min(prev, dist)
@@ -558,16 +683,24 @@ def build_perf_model(
             sites.append(SiteBound(tag, load.index, d, 1, 0.0))
             continue
         d = max(0, int(d))
-        # instances j-1, ..., j-g are in flight when instance j's first
-        # use issues iff g*II < d; the stall shadows their residuals, so
-        # windows of g+1 instances expose at most one residual.  An exact
-        # multiple of II ties with same-cycle issue order: stay
-        # conservative and drop the boundary instance.
-        if d % ii:
-            window = d // ii + 1
+        if tracking_window:
+            # load-delay tracking charges max(0, wait - W) per stall
+            # event, and every single wait is at most L_max_data - d —
+            # a per-instance bound, so windows collapse to 1
+            window = 1
+            residual = max(0.0, l_max_data - d - tracking_window)
         else:
-            window = max(1, d // ii)
-        residual = max(0.0, l_max - d)
+            # instances j-1, ..., j-g are in flight when instance j's
+            # first use issues iff g*II < d; the stall shadows their
+            # residuals, so windows of g+1 instances expose at most one
+            # residual.  An exact multiple of II ties with same-cycle
+            # issue order: stay conservative and drop the boundary
+            # instance.
+            if d % ii:
+                window = d // ii + 1
+            else:
+                window = max(1, d // ii)
+            residual = max(0.0, l_max_data - d)
         sites.append(SiteBound(tag, load.index, d, window, residual))
 
     n_mem_ops = len(demand_loads) + len(demand_stores) + len(prefetch_ops)
@@ -597,6 +730,11 @@ def build_perf_model(
         ozq_capacity=machine.ozq_capacity,
         ozq_zero_proof=occ_bound < machine.ozq_capacity,
         zero_stall_proof=all(s.residual <= 0.0 for s in sites),
+        queue_kind=description.queue.kind,
+        scoreboard_kind=description.scoreboard.kind,
+        tracking_window=tracking_window,
+        replay_penalty=description.queue.replay_penalty,
+        n_use_edges=len(use_edges),
     )
 
 

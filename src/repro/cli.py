@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Twelve subcommands::
+The subcommands::
 
     python -m repro compile loop.s --policy hlo        # kernel + stats
     python -m repro simulate loop.s --trips 2000 --invocations 3 \\
@@ -17,6 +17,7 @@ Twelve subcommands::
         --tolerance 0.5                                # CI regression gate
     python -m repro fuzz --cases 200 --seed 0 --jobs 4 # oracle fuzzing
     python -m repro fuzz --replay tests/corpus         # corpus replay
+    python -m repro machines                           # machine models
     python -m repro fig5                               # the theory curves
     python -m repro serve --workers 4                  # the job server
     python -m repro submit bench --json '{"suite": "micro"}' --wait 600
@@ -28,6 +29,9 @@ which runs the :mod:`repro.analysis` translation validator over every
 scheduled loop (see ``docs/analysis.md`` for the SAnnn code reference).
 ``experiment`` and ``bench`` take ``--trace``, which records a per-cell
 stall-attribution summary in the run manifest (see ``docs/trace.md``).
+``compile``, ``simulate``, ``trace``, ``experiment``, ``bench`` and
+``fuzz`` take ``--machine`` to target a registered machine model
+(``repro machines`` lists them; see ``docs/machines.md``).
 
 The loop file format is the textual dialect of
 :func:`repro.ir.parser.parse_loop` (see examples/loops/ and README).
@@ -129,6 +133,24 @@ def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_machine_arg(parser: argparse.ArgumentParser) -> None:
+    from repro.machine import machine_names
+
+    parser.add_argument(
+        "--machine",
+        choices=machine_names(),
+        default="itanium2",
+        help="machine model to compile and simulate for "
+             "(default: itanium2; see `repro machines`)",
+    )
+
+
+def make_machine(args: argparse.Namespace):
+    from repro.machine import build_machine
+
+    return build_machine(getattr(args, "machine", "itanium2"))
+
+
 def _add_config_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--policy",
@@ -147,11 +169,10 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
 def cmd_compile(args: argparse.Namespace) -> int:
     from repro.core.compiler import LoopCompiler
     from repro.ir import parse_loop
-    from repro.machine import ItaniumMachine
 
     text = open(args.loop_file).read()
     loop = parse_loop(text)
-    compiled = LoopCompiler(ItaniumMachine(), make_config(args)).compile(loop)
+    compiled = LoopCompiler(make_machine(args), make_config(args)).compile(loop)
     stats = compiled.stats
     print(stats.summary())
     if compiled.result.kernel is not None:
@@ -249,10 +270,9 @@ def cmd_lint(args: argparse.Namespace) -> int:
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.core.compiler import LoopCompiler
     from repro.ir import parse_loop
-    from repro.machine import ItaniumMachine
-    from repro.sim import MemorySystem, simulate_loop
+    from repro.sim import simulate_loop
 
-    machine = ItaniumMachine()
+    machine = make_machine(args)
     loop = parse_loop(open(args.loop_file).read())
     layout = dict(args.space or [])
     missing = {
@@ -269,7 +289,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         machine,
         layout,
         [args.trips] * args.invocations,
-        memory=MemorySystem(machine.timings),
+        memory=machine.memory_system(),
         backend=args.backend or None,
     )
     c = run.counters
@@ -289,7 +309,6 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
     from repro.core.compiler import LoopCompiler
     from repro.ir import parse_loop
-    from repro.machine import ItaniumMachine
     from repro.sim.address import StreamSpec
     from repro.trace import (
         ascii_timeline,
@@ -299,7 +318,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         write_chrome_trace,
     )
 
-    machine = ItaniumMachine()
+    machine = make_machine(args)
     loop = parse_loop(open(args.loop_file).read())
     layout = dict(args.space or [])
     # unlike `simulate`, unspecified spaces get a usable default (64M
@@ -409,6 +428,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     run = run_suite(
         suite,
         [base, variant],
+        machine=make_machine(args),
         seed=args.seed,
         workers=args.jobs,
         cache=_open_cache(args),
@@ -489,6 +509,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     run = run_suite(
         suite,
         [base] + variants,
+        machine=make_machine(args),
         seed=args.seed,
         workers=workers,
         cache=_open_cache(args),
@@ -565,6 +586,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         corpus_dir=args.corpus_dir,
         cache_dir=args.cache_dir,
         inject=args.inject,
+        machine=args.machine,
         gen=GenConfig(max_ops=args.max_ops),
     )
     summary = run_fuzz(options)
@@ -748,6 +770,42 @@ def cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_machines(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.machine import machine_description, machine_names
+
+    if args.json:
+        listing = {
+            name: machine_description(name).to_dict()
+            for name in machine_names()
+        }
+        print(json.dumps(listing, indent=2, sort_keys=True))
+        return 0
+
+    header = (
+        f"{'name':<12} {'issue':>5} {'queue':<10} {'cap':>3} "
+        f"{'scoreboard':<22} {'window':>6} {'digest':<12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in machine_names():
+        desc = machine_description(name)
+        queue = desc.queue
+        queue_text = queue.kind
+        if queue.kind == "slsq":
+            queue_text += f"/ra{queue.runahead}"
+        print(
+            f"{name:<12} {desc.issue_width:>5} {queue_text:<10} "
+            f"{queue.capacity:>3} {desc.scoreboard.kind:<22} "
+            f"{desc.scoreboard.tracking_window:>6} {desc.digest()[:12]}"
+        )
+    print()
+    print("select one with --machine on compile / simulate / trace / "
+          "experiment / bench / fuzz")
+    return 0
+
+
 def cmd_fig5(args: argparse.Namespace) -> int:
     from repro.core.theory import fig5_series
 
@@ -775,6 +833,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("--verify", action="store_true",
                            help="translation-validate the compiled loop")
     _add_config_args(p_compile)
+    _add_machine_arg(p_compile)
     p_compile.set_defaults(func=cmd_compile)
 
     p_lint = sub.add_parser(
@@ -807,6 +866,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_config_args(p_sim)
     _add_backend_arg(p_sim)
+    _add_machine_arg(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
     p_trace = sub.add_parser(
@@ -837,6 +897,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="keep only the last N events "
                               "(flight-recorder mode)")
     _add_config_args(p_trace)
+    _add_machine_arg(p_trace)
     p_trace.set_defaults(func=cmd_trace)
 
     p_exp = sub.add_parser("experiment", help="run a suite comparison")
@@ -858,6 +919,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "in the manifest")
     _add_config_args(p_exp)
     _add_backend_arg(p_exp)
+    _add_machine_arg(p_exp)
     p_exp.set_defaults(func=cmd_experiment)
 
     p_bench = sub.add_parser(
@@ -902,6 +964,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="record per-cell stall-attribution summaries "
                               "in the manifest")
     _add_backend_arg(p_bench)
+    _add_machine_arg(p_bench)
     p_bench.set_defaults(func=cmd_bench)
 
     p_cmp = sub.add_parser("compare", help="diff two run manifests")
@@ -942,6 +1005,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--replay", metavar="DIR",
                         help="re-check every .loop file in a corpus "
                              "directory instead of generating new cases")
+    _add_machine_arg(p_fuzz)
     p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_serve = sub.add_parser(
@@ -1022,6 +1086,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_status.add_argument("--runs", action="store_true",
                           help="list completed bench runs")
     p_status.set_defaults(func=cmd_status)
+
+    p_machines = sub.add_parser(
+        "machines",
+        help="list the registered machine models (issue template, "
+             "queue discipline, scoreboard, digest)",
+    )
+    p_machines.add_argument("--json", action="store_true",
+                            help="emit every full machine description "
+                                 "as JSON")
+    p_machines.set_defaults(func=cmd_machines)
 
     p_fig5 = sub.add_parser("fig5", help="print the Fig. 5 theory curves")
     p_fig5.add_argument("--max-k", type=int, default=8)

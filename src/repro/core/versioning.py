@@ -26,6 +26,7 @@ from repro.sim.core import prepare_execution, run_iterations
 from repro.sim.counters import PerfCounters
 from repro.sim.fastpath import (
     compile_kernel,
+    fast_machine_supported,
     fast_replay_supported,
     run_iterations_fast,
 )
@@ -104,10 +105,14 @@ def simulate_versioned(
     kernels of one function would.  Every invocation pays a small
     version-check cost on top of the usual loop overheads.
     """
-    memory = memory or MemorySystem(machine.timings)
+    memory = memory or machine.memory_system()
     counters = PerfCounters()
     backend = SimBackend.parse(backend)
-    use_fast = backend is SimBackend.FAST and fast_replay_supported(memory)
+    use_fast = (
+        backend is SimBackend.FAST
+        and fast_machine_supported(machine)
+        and fast_replay_supported(memory)
+    )
     trips = [int(t) for t in trip_counts]
     total_iters = sum(trips)
     stream_len = max(total_iters, max(trips) if trips else 0)
@@ -156,7 +161,8 @@ def simulate_versioned(
         else:
             cycle = run_iterations(
                 setup, streams, base, n, memory, machine.ozq_capacity,
-                counters, cycle,
+                counters, cycle, queue=machine.queue,
+                scoreboard=machine.scoreboard,
             )
         running_base += n
         counters.invocations += 1

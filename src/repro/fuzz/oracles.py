@@ -56,7 +56,8 @@ from repro.sim.executor import simulate_loop
 
 #: bump when oracle semantics change — part of the harness cache key, so
 #: stale cached verdicts are never replayed against new oracles
-ORACLE_VERSION = 2
+#: (3: verdicts are machine-model-aware; the case key carries the name)
+ORACLE_VERSION = 3
 
 #: source iterations for the architectural executions — enough to cross
 #: several stage boundaries of any schedule the generator can provoke

@@ -4,10 +4,10 @@ One *case* is ``(seed, GenConfig, inject-mode)``: the loop is generated,
 every oracle of :mod:`repro.fuzz.oracles` runs over it, and the verdict
 is optionally cached through the harness's content-addressed
 :class:`~repro.harness.cache.ArtifactCache`.  The cache key includes the
-generator seed and configuration, :data:`~repro.fuzz.oracles.ORACLE_VERSION`
-and the injection mode, so changing any of them — in particular
-strengthening an oracle — invalidates stale verdicts instead of replaying
-them.
+generator seed and configuration, :data:`~repro.fuzz.oracles.ORACLE_VERSION`,
+the machine-model name and the injection mode, so changing any of them —
+in particular strengthening an oracle — invalidates stale verdicts
+instead of replaying them.
 
 Failing cases are re-derived in the parent process, greedily shrunk
 (:mod:`repro.fuzz.shrink`), and saved to a corpus directory as a
@@ -107,27 +107,31 @@ def scheduler_mutation(mode: str | None):
 
 # --- one case ---------------------------------------------------------------
 
-def case_key(seed: int, gen: GenConfig, inject: str) -> str:
+def case_key(seed: int, gen: GenConfig, inject: str,
+             machine: str = "itanium2") -> str:
     """Cache key for one fuzz case's verdict."""
     return hash_key({
         "kind": "fuzz-case",
         "seed": seed,
         "gen": gen.to_dict(),
         "oracle_version": ORACLE_VERSION,
-        "machine": "itanium2",
+        "machine": machine or "itanium2",
         "inject": inject or "none",
     })
 
 
 def _run_case(payload: dict) -> dict:
     """Pool worker: one seed through generation and every oracle."""
+    from repro.machine import build_machine
+
     seed = payload["seed"]
     gen = GenConfig.from_dict(payload["gen"])
     inject = payload.get("inject", "none")
+    machine_name = payload.get("machine", "itanium2") or "itanium2"
     cache = (
         ArtifactCache(payload["cache_dir"]) if payload.get("cache_dir") else None
     )
-    key = case_key(seed, gen, inject)
+    key = case_key(seed, gen, inject, machine_name)
     if cache is not None:
         hit = cache.get(key)
         if hit is not None:
@@ -137,6 +141,7 @@ def _run_case(payload: dict) -> dict:
         loop = generate_loop(seed, gen)
         report = check_loop(
             loop,
+            machine=build_machine(machine_name),
             seed=seed,
             simulate=payload.get("simulate", True),
             metamorphic=payload.get("metamorphic", True),
@@ -161,6 +166,9 @@ class FuzzOptions:
     corpus_dir: str | Path | None = None
     cache_dir: str | Path | None = None
     inject: str = "none"
+    #: machine-model registry name the oracles check against; part of
+    #: every verdict cache key, so per-machine verdicts never collide
+    machine: str = "itanium2"
     gen: GenConfig = field(default_factory=GenConfig)
     simulate: bool = True
     metamorphic: bool = True
@@ -208,6 +216,7 @@ def _save_case(
     seed: int,
     gen: GenConfig,
     inject: str,
+    machine: str = "itanium2",
 ) -> list[str]:
     """Persist one reproducer: ``<stem>.loop`` + ``<stem>.json``."""
     corpus_dir.mkdir(parents=True, exist_ok=True)
@@ -219,6 +228,7 @@ def _save_case(
         "gen": gen.to_dict(),
         "oracle_version": ORACLE_VERSION,
         "inject": inject or "none",
+        "machine": machine or "itanium2",
         "ops": len(loop.body),
         "report": report,
     }
@@ -237,6 +247,7 @@ def run_fuzz(options: FuzzOptions) -> FuzzSummary:
             "seed": options.seed + i,
             "gen": options.gen.to_dict(),
             "inject": options.inject or "none",
+            "machine": options.machine or "itanium2",
             "cache_dir": str(options.cache_dir) if options.cache_dir else None,
             "simulate": options.simulate,
             "metamorphic": options.metamorphic,
@@ -245,6 +256,9 @@ def run_fuzz(options: FuzzOptions) -> FuzzSummary:
     ]
     results = run_tasks(_run_case, payloads, workers=options.jobs)
 
+    from repro.machine import build_machine
+
+    shrink_machine = build_machine(options.machine or "itanium2")
     failures: list[dict] = []
     saved: list[str] = []
     for result in results:
@@ -260,7 +274,8 @@ def run_fuzz(options: FuzzOptions) -> FuzzSummary:
 
                 def recheck(cand: Loop):
                     return check_loop(
-                        cand, simulate=simulate, metamorphic=metamorphic
+                        cand, machine=shrink_machine,
+                        simulate=simulate, metamorphic=metamorphic,
                     )
 
                 loop, shrunk_report = shrink_loop(loop, recheck, target)
@@ -278,6 +293,7 @@ def run_fuzz(options: FuzzOptions) -> FuzzSummary:
                 seed=failure["seed"],
                 gen=options.gen,
                 inject=options.inject or "none",
+                machine=options.machine or "itanium2",
             ))
         failures.append(failure)
 

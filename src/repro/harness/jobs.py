@@ -201,7 +201,7 @@ def run_loops(
             reports.append(verify_compiled(compiled))
         rng = np.random.default_rng(seed + pos * 977 + _stable(bench.name))
         trips = lw.data.ref.sample(rng, lw.invocations)
-        memory = MemorySystem(machine.timings)
+        memory = machine.memory_system()
         sink = StallAttribution() if trace else None
         sim = simulate_loop(
             compiled.result,
@@ -340,6 +340,8 @@ def describe_config(config: CompilerConfig) -> dict:
 
 def describe_machine(machine: ItaniumMachine) -> dict:
     return {
+        "name": machine.name,
+        "description_digest": machine.digest(),
         "timings": dataclasses.asdict(machine.timings),
         "translation": dataclasses.asdict(machine.translation),
         "ozq_capacity": machine.ozq_capacity,

@@ -79,6 +79,14 @@ class CellRecord:
     #: :meth:`RunManifest.fingerprint` and every cache key.  The default
     #: keeps pre-backend manifests loading through ``CellRecord(**cell)``
     backend: str = ""
+    #: machine model the cell ran on, by registry name, plus the digest
+    #: of its full :class:`~repro.machine.MachineDescription`.  Unlike
+    #: ``backend`` the machine *determines* the cycles, so the manifest
+    #: fingerprint covers it — but only when it differs from the default
+    #: ``itanium2``, which keeps every pre-machine fingerprint stable.
+    #: The defaults keep pre-machine manifests loading
+    machine: str = ""
+    machine_digest: str = ""
 
 
 @dataclasses.dataclass
@@ -94,6 +102,9 @@ class RunManifest:
     configs: list[str]
     cells: list[CellRecord]
     wall_time_s: float
+    #: machine model the whole run used (registry name); the default
+    #: keeps pre-machine manifests loading through :meth:`from_dict`
+    machine: str = "itanium2"
 
     @staticmethod
     def new(
@@ -103,6 +114,7 @@ class RunManifest:
         configs: list[str],
         cells: list[CellRecord],
         wall_time_s: float,
+        machine: str = "itanium2",
     ) -> "RunManifest":
         stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
         return RunManifest(
@@ -115,6 +127,7 @@ class RunManifest:
             configs=list(configs),
             cells=cells,
             wall_time_s=wall_time_s,
+            machine=machine,
         )
 
     # --- cache accounting ---------------------------------------------------
@@ -161,7 +174,7 @@ class RunManifest:
         fields = {
             f.name: data[f.name]
             for f in dataclasses.fields(RunManifest)
-            if f.name != "cells"
+            if f.name != "cells" and f.name in data
         }
         return RunManifest(cells=cells, **fields)
 
@@ -182,13 +195,16 @@ class RunManifest:
     def fingerprint(self) -> str:
         """Content digest of what the run *computed*.
 
-        Covers the suite, seed, config set and every cell's cycle totals
-        and status — and deliberately excludes provenance that varies
-        between otherwise-identical runs (run id, timestamps, git sha,
-        worker count, wall time, cache hit flags, durations).  Two runs
-        of the same suite agree on this digest iff they produced
-        bit-identical cycles, which is how the service proves an
-        HTTP-submitted sweep matches a local one.
+        Covers the suite, seed, config set, machine model and every
+        cell's cycle totals and status — and deliberately excludes
+        provenance that varies between otherwise-identical runs (run id,
+        timestamps, git sha, worker count, wall time, cache hit flags,
+        durations).  Two runs of the same suite agree on this digest iff
+        they produced bit-identical cycles, which is how the service
+        proves an HTTP-submitted sweep matches a local one.  The machine
+        enters the material only when it is not the default
+        ``itanium2``: default-machine digests are bit-identical to those
+        minted before machine models existed.
         """
         from repro.harness.cache import hash_key
 
@@ -211,6 +227,8 @@ class RunManifest:
                 )
             ],
         }
+        if self.machine and self.machine != "itanium2":
+            material["machine"] = self.machine
         return hash_key(material)
 
     # --- verification accounting --------------------------------------------

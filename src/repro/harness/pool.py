@@ -193,9 +193,13 @@ def run_suite(
     ``backend`` picks the simulator implementation per cell ("interp" |
     "fast", "" = session default); backends are bit-identical, so the
     choice is recorded in the manifest but never enters cache keys or
-    the manifest fingerprint.
+    the manifest fingerprint.  ``machine`` selects the machine model
+    (default the itanium2 reference) — unlike the backend it determines
+    the cycles, so its name and description digest are recorded per cell
+    and the manifest fingerprint covers non-default machines.
     """
     machine = machine or ItaniumMachine()
+    machine_digest = machine.digest()
     unique_configs: list[CompilerConfig] = []
     seen: set[str] = set()
     for config in configs:
@@ -231,6 +235,8 @@ def run_suite(
                 duration_s=outcome.duration_s,
                 status=outcome.status,
                 backend=outcome.backend,
+                machine=machine.name,
+                machine_digest=machine_digest,
             ))
             continue
         results[job.config.label][job.benchmark.name] = result
@@ -252,6 +258,8 @@ def run_suite(
             bounds_violations=bounds.get("violations", 0),
             trace=outcome.trace,
             backend=outcome.backend,
+            machine=machine.name,
+            machine_digest=machine_digest,
         ))
 
     manifest = RunManifest.new(
@@ -261,6 +269,7 @@ def run_suite(
         configs=[config.label for config in unique_configs],
         cells=cells,
         wall_time_s=wall,
+        machine=machine.name,
     )
     if manifest_path:
         manifest.save(manifest_path)

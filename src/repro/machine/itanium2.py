@@ -1,4 +1,4 @@
-"""The Itanium-2-class machine description.
+"""The runtime machine model built from a :class:`MachineDescription`.
 
 Bundles the resource model, the latency tables, and — most importantly —
 the latency-query interface of Sec. 3.3: "the pipeliner queries the machine
@@ -7,6 +7,13 @@ instructions.  For loads, an additional parameter is provided with the
 query that specifies whether the machine model should return the minimum
 (base) latency of the load, or a (possibly higher) expected latency value
 specified by HLO hints."
+
+The class keeps its historical name — ``ItaniumMachine()`` with no
+arguments is still the paper's Dual-Core Itanium 2, bit-identical to the
+pre-registry model — but any registered :class:`MachineDescription` can be
+realised through :func:`build_machine`, which derives the resource model,
+timings, hierarchy geometry, queue discipline, and scoreboard policy from
+the description instead of module constants.
 """
 
 from __future__ import annotations
@@ -15,31 +22,25 @@ from dataclasses import dataclass, field
 
 from repro.ir.instructions import Instruction
 from repro.ir.memref import LatencyHint
+from repro.ir.opcodes import UnitClass
 from repro.ir.registers import Reg, RegClass, RegisterFile, itanium_register_files
+from repro.machine.description import (
+    ITANIUM2,
+    MachineDescription,
+    MemoryTimings,
+    QueueDiscipline,
+    ScoreboardPolicy,
+    machine_description,
+)
 from repro.machine.hints import HintTranslation, TYPICAL_TRANSLATION
 from repro.machine.resources import ResourceModel
 
-
-@dataclass(frozen=True)
-class MemoryTimings:
-    """Best-case load-to-use latencies of the memory hierarchy (Sec. 2).
-
-    "On the Dual-Core Itanium 2 processor, the best-case delays until
-    integer loads return data range from 1, 5, 14, and more than a hundred
-    cycles depending on whether the data is found in the L1D, L2D, L3
-    caches, and the main memory."
-    """
-
-    l1: int = 1
-    l2: int = 5
-    l3: int = 14
-    memory: int = 180
-    #: extra cycle for FP format conversion
-    fp_extra: int = 1
-
-    def latency_of_level(self, level: int, is_fp: bool = False) -> int:
-        table = {1: self.l1, 2: self.l2, 3: self.l3, 4: self.memory}
-        return table[level] + (self.fp_extra if is_fp else 0)
+__all__ = [
+    "ItaniumMachine",
+    "Machine",
+    "MemoryTimings",
+    "build_machine",
+]
 
 
 @dataclass(frozen=True)
@@ -56,15 +57,39 @@ class ItaniumMachine:
     #: ("At least 48 outstanding requests can be active throughout the
     #: memory hierarchy without stalling the execution pipeline", Sec. 2)
     ozq_capacity: int = 48
+    #: the declarative source this machine was realised from
+    description: MachineDescription = ITANIUM2
+
+    # --- identity ----------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.description.name
+
+    @property
+    def queue(self) -> QueueDiscipline:
+        return self.description.queue
+
+    @property
+    def scoreboard(self) -> ScoreboardPolicy:
+        return self.description.scoreboard
+
+    def digest(self) -> str:
+        return self.description.digest()
 
     # --- latency queries ---------------------------------------------------
     def base_latency(self, inst: Instruction) -> int:
         """Minimum (base) result latency of ``inst``."""
+        if self.description.latency_overrides:
+            override = self.description.latency_override_map.get(
+                inst.opcode.mnemonic
+            )
+            if override is not None:
+                return override
         return inst.opcode.latency
 
     def expected_load_latency(self, inst: Instruction) -> int:
         """Hint-derived expected latency of a load (Sec. 3.3)."""
-        base = inst.opcode.latency
+        base = self.base_latency(inst)
         if not inst.is_load or inst.memref is None:
             return base
         return self.translation.scheduling_latency(
@@ -93,6 +118,36 @@ class ItaniumMachine:
         """The query callable consumed by the DDG layer."""
         return self.flow_latency
 
+    # --- derived structure -------------------------------------------------
+    def memory_system(self):
+        """A fresh :class:`~repro.sim.memory.MemorySystem` matching the
+        description's hierarchy geometry (caches, TLB, L2 banking)."""
+        from repro.sim.cache import CacheConfig
+        from repro.sim.memory import MemorySystem
+        from repro.sim.tlb import TLB
+
+        d = self.description
+
+        def _config(level) -> CacheConfig:
+            return CacheConfig(
+                level.name, size=level.size, line_size=level.line_size,
+                associativity=level.associativity,
+            )
+
+        return MemorySystem(
+            self.timings,
+            l1d=_config(d.l1d),
+            l2=_config(d.l2),
+            l3=_config(d.l3),
+            tlb=TLB(
+                entries=d.tlb.entries,
+                page_size=d.tlb.page_size,
+                miss_penalty=d.tlb.miss_penalty,
+            ),
+            bank_conflicts=d.banks.enabled,
+            banks=d.banks,
+        )
+
     def with_translation(self, translation: HintTranslation) -> "ItaniumMachine":
         """A copy of this machine using a different hint translation."""
         return ItaniumMachine(
@@ -101,17 +156,55 @@ class ItaniumMachine:
             translation=translation,
             register_files=self.register_files,
             ozq_capacity=self.ozq_capacity,
+            description=self.description.with_(translation=translation),
         )
 
     def with_ozq_capacity(self, capacity: int) -> "ItaniumMachine":
         """A copy with a different OzQ depth (for MLP ablations)."""
+        description = self.description.with_(
+            queue=QueueDiscipline(
+                kind=self.description.queue.kind,
+                capacity=capacity,
+                runahead=self.description.queue.runahead,
+                replay_penalty=self.description.queue.replay_penalty,
+            )
+        )
         return ItaniumMachine(
             resources=self.resources,
             timings=self.timings,
             translation=self.translation,
             register_files=self.register_files,
             ozq_capacity=capacity,
+            description=description,
         )
 
     def rotating_capacity(self, rclass: RegClass) -> int:
         return self.register_files[rclass].rotating_size
+
+
+#: The runtime model is machine-agnostic; keep a neutral alias.
+Machine = ItaniumMachine
+
+
+def build_machine(source: str | MachineDescription) -> ItaniumMachine:
+    """Realise a runtime machine from a description or a registered name.
+
+    Unknown names raise :class:`~repro.errors.MachineModelError`.
+    """
+    if isinstance(source, MachineDescription):
+        description = source
+    else:
+        description = machine_description(source)
+    capacities = {
+        UnitClass[unit]: capacity for unit, capacity in description.ports
+    }
+    return ItaniumMachine(
+        resources=ResourceModel(
+            capacities=capacities, issue_width=description.issue_width
+        ),
+        timings=description.timings,
+        translation=description.translation,
+        register_files=itanium_register_files(),
+        ozq_capacity=description.queue.capacity,
+        description=description,
+    )

@@ -55,14 +55,19 @@ def _build_layout(canonical: dict, loop) -> dict:
     return layout
 
 
+def _resolve_machine(canonical: dict):
+    from repro.machine import build_machine
+
+    return build_machine(canonical.get("machine", "itanium2"))
+
+
 def _run_compile(canonical: dict, cache_root: str | None) -> dict:
     from repro.core.compiler import LoopCompiler
     from repro.ir import parse_loop
-    from repro.machine import ItaniumMachine
 
     loop = parse_loop(canonical["loop"])
     compiled = LoopCompiler(
-        ItaniumMachine(), _build_config(canonical)
+        _resolve_machine(canonical), _build_config(canonical)
     ).compile(loop)
     stats = compiled.stats
     result = {
@@ -94,9 +99,8 @@ def _run_compile(canonical: dict, cache_root: str | None) -> dict:
 def _compile_for_run(canonical: dict):
     from repro.core.compiler import LoopCompiler
     from repro.ir import parse_loop
-    from repro.machine import ItaniumMachine
 
-    machine = ItaniumMachine()
+    machine = _resolve_machine(canonical)
     loop = parse_loop(canonical["loop"])
     compiled = LoopCompiler(machine, _build_config(canonical)).compile(loop)
     return machine, loop, compiled
@@ -112,7 +116,7 @@ def _run_simulate(canonical: dict, cache_root: str | None) -> dict:
         machine,
         _build_layout(canonical, loop),
         [canonical["trips"]] * canonical["invocations"],
-        memory=MemorySystem(machine.timings),
+        memory=machine.memory_system(),
         seed=canonical["seed"],
         backend=canonical.get("backend") or None,
     )
@@ -162,6 +166,7 @@ def _run_fuzz(canonical: dict, cache_root: str | None) -> dict:
         corpus_dir=None,
         cache_dir=cache_root,  # verdicts share the artifact store
         inject=canonical["inject"],
+        machine=canonical.get("machine", "itanium2"),
         gen=GenConfig(max_ops=canonical["max_ops"]),
     ))
     return summary.to_dict()
@@ -198,6 +203,7 @@ def _run_bench(canonical: dict, cache_root: str | None) -> dict:
     run = run_suite(
         suite,
         [base] + variants,
+        machine=_resolve_machine(canonical),
         seed=canonical["seed"],
         workers=1,  # one job = one worker; the pool parallelises jobs
         cache=cache_root,

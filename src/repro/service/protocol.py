@@ -26,15 +26,19 @@ from __future__ import annotations
 from repro.config import HintPolicy
 from repro.errors import ServiceError
 from repro.harness.cache import hash_key
+from repro.machine import machine_names
 
 #: bump when the request schema or result payloads change incompatibly
 #: (part of every request key, so stale stored results become misses)
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 JOB_KINDS = ("compile", "simulate", "trace", "fuzz", "bench")
 SUITES = ("cpu2006", "cpu2000", "micro")
 POLICIES = tuple(policy.value for policy in HintPolicy)
 INJECT_MODES = ("none", "drop-edge")
+#: registered machine models; unlike ``backend`` the machine *determines*
+#: the result, so it stays in the canonical form and the request key
+MACHINES = tuple(machine_names())
 #: simulator backend choices; "" = the session default.  The backend is
 #: an execution hint, not a result-determining field — both backends are
 #: bit-identical — so :func:`request_key` strips it before hashing and
@@ -140,11 +144,19 @@ def _config_fields(payload: dict) -> dict:
 _CONFIG_KEYS = {"policy", "threshold", "pgo", "prefetch"}
 
 
+def _machine(payload: dict) -> str:
+    """The machine-model name, validated against the registry."""
+    return _choice(payload, "machine", "itanium2", MACHINES)
+
+
 def _normalize_compile(payload: dict) -> dict:
-    _reject_unknown("compile", payload, {"loop", "verify"} | _CONFIG_KEYS)
+    _reject_unknown(
+        "compile", payload, {"loop", "verify", "machine"} | _CONFIG_KEYS
+    )
     return {
         "loop": _loop_text(payload),
         **_config_fields(payload),
+        "machine": _machine(payload),
         "verify": _bool(payload, "verify", False),
     }
 
@@ -169,13 +181,15 @@ def _normalize_spaces(payload: dict) -> dict:
 
 
 def _normalize_simulate(payload: dict, kind: str = "simulate") -> dict:
-    known = {"loop", "trips", "invocations", "spaces", "seed"} | _CONFIG_KEYS
+    known = {"loop", "trips", "invocations", "spaces", "seed",
+             "machine"} | _CONFIG_KEYS
     if kind == "simulate":  # traced runs pin the interpreter
         known.add("backend")
     _reject_unknown(kind, payload, known)
     canonical = {
         "loop": _loop_text(payload),
         **_config_fields(payload),
+        "machine": _machine(payload),
         "trips": _int(payload, "trips", 1000, lo=1, hi=10_000_000),
         "invocations": _int(payload, "invocations", 1, lo=1, hi=100_000),
         "spaces": _normalize_spaces(payload),
@@ -192,7 +206,8 @@ def _normalize_trace(payload: dict) -> dict:
 
 def _normalize_fuzz(payload: dict) -> dict:
     _reject_unknown(
-        "fuzz", payload, {"cases", "seed", "max_ops", "inject", "shrink"}
+        "fuzz", payload,
+        {"cases", "seed", "max_ops", "inject", "shrink", "machine"},
     )
     return {
         "cases": _int(payload, "cases", 100, lo=1, hi=100_000),
@@ -200,6 +215,7 @@ def _normalize_fuzz(payload: dict) -> dict:
         "max_ops": _int(payload, "max_ops", 14, lo=2, hi=64),
         "inject": _choice(payload, "inject", "none", INJECT_MODES),
         "shrink": _bool(payload, "shrink", True),
+        "machine": _machine(payload),
     }
 
 
@@ -207,7 +223,7 @@ def _normalize_bench(payload: dict) -> dict:
     _reject_unknown(
         "bench", payload,
         {"suite", "benchmarks", "configs", "seed", "verify", "trace",
-         "backend"}
+         "backend", "machine"}
         | _CONFIG_KEYS - {"policy"},
     )
     suite = _choice(payload, "suite", None, SUITES)
@@ -232,6 +248,7 @@ def _normalize_bench(payload: dict) -> dict:
         "pgo": _bool(payload, "pgo", True),
         "prefetch": _bool(payload, "prefetch", True),
         "seed": _int(payload, "seed", 2008, lo=0, hi=2**31 - 1),
+        "machine": _machine(payload),
         "verify": _bool(payload, "verify", False),
         "trace": _bool(payload, "trace", False),
         "backend": _choice(payload, "backend", "", BACKENDS),
@@ -280,7 +297,9 @@ def request_key(kind: str, canonical: dict) -> str:
     The ``backend`` field is stripped before hashing: the interpreter and
     the fast replayer are bit-identical, so a stored result satisfies a
     resubmission under either backend — the choice is provenance, never
-    content.
+    content.  The ``machine`` field is NOT stripped: different machine
+    models produce different cycles, so each machine addresses its own
+    stored artifact.
     """
     return hash_key({
         "schema": SCHEMA_VERSION,

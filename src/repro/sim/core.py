@@ -166,6 +166,8 @@ def run_iterations(
     counters: PerfCounters,
     start_cycle: float = 0.0,
     sink=None,
+    queue=None,
+    scoreboard=None,
 ) -> float:
     """Execute ``n`` source iterations; returns the finish cycle.
 
@@ -174,12 +176,33 @@ def run_iterations(
     receives :mod:`repro.trace.events` as execution proceeds; its
     interest flags are hoisted into locals here, so a ``None`` sink (or
     one that wants nothing) costs a few branch tests per op.
+
+    ``queue`` and ``scoreboard`` are the machine's
+    :class:`~repro.machine.description.QueueDiscipline` and
+    :class:`~repro.machine.description.ScoreboardPolicy`; ``None`` (or
+    the Itanium defaults) selects the classic OzQ + stall-on-use
+    semantics, whose arithmetic is untouched by the other policies'
+    guards.
     """
     if n <= 0:
         return start_cycle
     ii = setup.ii
     ops = setup.ops
     kernel_iters = n + setup.stage_count - 1
+
+    # machine policies beyond the classic in-order OzQ core; the guards
+    # below are inactive (and cost one falsy test) for itanium2
+    window = 0.0
+    if scoreboard is not None and scoreboard.kind == "load-delay-tracking":
+        window = float(scoreboard.tracking_window)
+    slsq = queue is not None and queue.kind == "slsq"
+    if slsq:
+        runahead = float(queue.runahead)
+        replay_penalty = float(queue.replay_penalty)
+        #: recent stores as (issue cycle, address) in allocation order; a
+        #: load speculating `runahead` cycles early violates only against
+        #: stores whose address was not yet known when it issued
+        store_window: list[tuple[float, int]] = []
 
     emit_issues = sink is not None and sink.wants_issues
     emit_uses = sink is not None and sink.wants_uses
@@ -237,16 +260,24 @@ def run_iterations(
                 ready = completions[slot][j]
                 if ready > now:
                     wait = ready - now
-                    if emit_stalls:
-                        sink.emit(ev.UseStall(
-                            cycle=now, consumer=op.tag, slot=slot,
-                            source_iter=j, wait=wait,
-                            inflight=sum(1 for c in ozq if c[0] > now),
-                        ))
-                    stall += wait
-                    now += wait
-                    counters.be_exe_bubble += wait
-                    counters.attribute_stall(op.tag, wait)
+                    if window:
+                        # load-delay tracking: the issue logic covers up
+                        # to `window` cycles with independent work; only
+                        # the exposed remainder stalls the pipeline
+                        hidden = wait if wait < window else window
+                        counters.ldt_hidden_cycles += hidden
+                        wait -= hidden
+                    if wait > 0.0:
+                        if emit_stalls:
+                            sink.emit(ev.UseStall(
+                                cycle=now, consumer=op.tag, slot=slot,
+                                source_iter=j, wait=wait,
+                                inflight=sum(1 for c in ozq if c[0] > now),
+                            ))
+                        stall += wait
+                        now += wait
+                        counters.be_exe_bubble += wait
+                        counters.attribute_stall(op.tag, wait)
                 elif emit_uses:
                     sink.emit(ev.UseReady(
                         cycle=now, consumer=op.tag, slot=slot, source_iter=j,
@@ -313,8 +344,35 @@ def run_iterations(
 
             addr = int(stream[stream_base + i])
             if op.is_load:
-                res = memory.load(addr, now, op.is_fp)
-                completions[op.load_slot][i] = now + res.latency
+                if slsq:
+                    # allocation-order disambiguation: the load issued
+                    # speculatively `runahead` cycles ago, so any older
+                    # store to the same address issued since then had an
+                    # unknown address at speculation time — a violation
+                    # that replays the load
+                    if store_window:
+                        horizon = now - runahead
+                        store_window[:] = [
+                            entry for entry in store_window
+                            if entry[0] > horizon
+                        ]
+                        for _issued, stored in store_window:
+                            if stored == addr:
+                                counters.slsq_replays += 1
+                                counters.slsq_replay_cycles += replay_penalty
+                                counters.be_flush_bubble += replay_penalty
+                                stall += replay_penalty
+                                now += replay_penalty
+                                break
+                    res = memory.load(addr, now, op.is_fp)
+                    # runahead issue hides the leading latency cycles
+                    effective = res.latency - runahead
+                    if effective < 1.0:
+                        effective = 1.0
+                    completions[op.load_slot][i] = now + effective
+                else:
+                    res = memory.load(addr, now, op.is_fp)
+                    completions[op.load_slot][i] = now + res.latency
                 counters.record_load_level(res.level)
                 if emit_memory:
                     sink.emit(ev.LoadIssue(
@@ -326,6 +384,8 @@ def run_iterations(
                     ))
             else:
                 res = memory.store(addr, now, op.is_fp)
+                if slsq:
+                    store_window.append((now, addr))
                 if emit_memory:
                     sink.emit(ev.StoreIssue(
                         cycle=now, tag=op.tag,

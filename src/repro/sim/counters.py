@@ -30,6 +30,13 @@ class PerfCounters:
     back_end_bubble_fe: float = 0.0
 
     ozq_full_cycles: float = 0.0
+    #: use-stall cycles covered by load-delay tracking (ldt machines);
+    #: overlapped with independent work, so NOT part of any cycle bucket
+    ldt_hidden_cycles: float = 0.0
+    #: speculative-LSQ ordering violations and the replay cycles they
+    #: cost; the cycles are charged into ``be_flush_bubble``
+    slsq_replays: int = 0
+    slsq_replay_cycles: float = 0.0
     #: demand loads by satisfying level: {1: L1D, 2: L2, 3: L3, 4: memory}
     loads_by_level: dict[int, int] = field(default_factory=dict)
     prefetches_issued: int = 0
@@ -74,6 +81,9 @@ class PerfCounters:
         self.be_flush_bubble += other.be_flush_bubble
         self.back_end_bubble_fe += other.back_end_bubble_fe
         self.ozq_full_cycles += other.ozq_full_cycles
+        self.ldt_hidden_cycles += other.ldt_hidden_cycles
+        self.slsq_replays += other.slsq_replays
+        self.slsq_replay_cycles += other.slsq_replay_cycles
         for level, count in other.loads_by_level.items():
             self.loads_by_level[level] = (
                 self.loads_by_level.get(level, 0) + count
@@ -99,6 +109,8 @@ class PerfCounters:
             be_flush_bubble=self.be_flush_bubble * factor,
             back_end_bubble_fe=self.back_end_bubble_fe * factor,
             ozq_full_cycles=self.ozq_full_cycles * factor,
+            ldt_hidden_cycles=self.ldt_hidden_cycles * factor,
+            slsq_replay_cycles=self.slsq_replay_cycles * factor,
         )
         out.loads_by_level = dict(self.loads_by_level)
         return out

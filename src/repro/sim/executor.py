@@ -28,6 +28,7 @@ from repro.sim.core import ExecutionSetup, prepare_execution, run_iterations
 from repro.sim.counters import PerfCounters
 from repro.sim.fastpath import (
     compile_kernel,
+    fast_machine_supported,
     fast_replay_supported,
     run_invocations_fast,
 )
@@ -85,15 +86,19 @@ def simulate_loop(
     ``backend`` picks the simulator implementation (default
     :data:`repro.config.DEFAULT_SIM_BACKEND`).  The fast backend falls
     back to the interpreter automatically for runs it cannot replay —
-    traced runs and instrumented memory systems — and both backends are
-    bit-identical, so the choice never changes any result.
+    traced runs, instrumented memory systems, and machines whose queue
+    discipline or scoreboard policy the code generator does not model —
+    and both backends are bit-identical, so the choice never changes any
+    result (the fallback is recorded as ``backend="interp"``).
     """
     counters = counters if counters is not None else PerfCounters()
-    memory = memory or MemorySystem(machine.timings)
+    memory = memory or machine.memory_system()
     setup = prepare_execution(result, machine)
     backend = SimBackend.parse(backend)
-    use_fast = backend is SimBackend.FAST and fast_replay_supported(
-        memory, sink
+    use_fast = (
+        backend is SimBackend.FAST
+        and fast_machine_supported(machine)
+        and fast_replay_supported(memory, sink)
     )
     kernel = compile_kernel(setup) if use_fast else None
 
@@ -175,6 +180,8 @@ def simulate_loop(
                 counters,
                 cycle,
                 sink,
+                queue=machine.queue,
+                scoreboard=machine.scoreboard,
             )
             running_base += n
             counters.invocations += 1
@@ -237,16 +244,19 @@ def _run_invocation(
     counters: PerfCounters,
     cycle: float,
     sink=None,
+    queue=None,
+    scoreboard=None,
 ) -> float:
     """One invocation; restarting spaces read from stream position 0."""
     if not restart_uids:
         return run_iterations(
             setup, streams, running_base, n, memory, ozq_capacity, counters,
-            cycle, sink,
+            cycle, sink, queue, scoreboard,
         )
     if len(restart_uids) == len(streams.by_ref):
         return run_iterations(
-            setup, streams, 0, n, memory, ozq_capacity, counters, cycle, sink
+            setup, streams, 0, n, memory, ozq_capacity, counters, cycle,
+            sink, queue, scoreboard,
         )
     # mixed: give restarting refs a view shifted to the invocation start
     mixed = LoopStreams(lookahead=streams.lookahead)
@@ -256,5 +266,6 @@ def _run_invocation(
         else:
             mixed.by_ref[uid] = arr[running_base:]
     return run_iterations(
-        setup, mixed, 0, n, memory, ozq_capacity, counters, cycle, sink
+        setup, mixed, 0, n, memory, ozq_capacity, counters, cycle,
+        sink, queue, scoreboard,
     )

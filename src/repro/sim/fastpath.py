@@ -231,6 +231,25 @@ def fast_replay_supported(memory, sink=None) -> bool:
     )
 
 
+def fast_machine_supported(machine) -> bool:
+    """Whether the code generator models this machine's dynamic policies.
+
+    The generated replayers encode the classic in-order semantics —
+    ordered OzQ occupancy and full stall-on-use — so machines declaring
+    a speculative LSQ or a load-delay-tracking scoreboard route to the
+    interpreter instead of raising from codegen; the executor records
+    the downgrade as ``backend="interp"``.  Hierarchy *geometry* needs
+    no gate: replayers are compiled per geometry.
+    """
+    queue = machine.queue
+    scoreboard = machine.scoreboard
+    return (
+        queue.kind == "ozq"
+        and scoreboard.kind == "stall-on-use"
+        and scoreboard.tracking_window == 0
+    )
+
+
 def _build_pack(kernel: CompiledKernel, streams, restart_uids) -> list:
     """Flat (stream list, base multiplier) pairs in ``ref_uids`` order.
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.machine.itanium2 import MemoryTimings
+from repro.machine.description import BankGeometry, MemoryTimings
 from repro.sim.cache import Cache, CacheConfig
 from repro.sim.tlb import TLB
 
@@ -43,6 +43,7 @@ class MemorySystem:
     """
 
     #: number of L2 banks and the bank interleave width in bytes
+    #: (class-level defaults; per-machine values shadow them per instance)
     L2_BANKS = 8
     L2_BANK_WIDTH = 16
     #: cycles a bank stays busy after an access
@@ -56,13 +57,20 @@ class MemorySystem:
         l3: CacheConfig = DEFAULT_L3,
         tlb: TLB | None = None,
         bank_conflicts: bool = True,
+        banks: BankGeometry | None = None,
     ) -> None:
         self.timings = timings or MemoryTimings()
         self.l1d = Cache(l1d)
         self.l2 = Cache(l2)
         self.l3 = Cache(l3)
         self.tlb = tlb or TLB()
-        self.bank_conflicts = bank_conflicts
+        if banks is not None:
+            self.bank_conflicts = bank_conflicts and banks.enabled
+            self.L2_BANKS = banks.banks
+            self.L2_BANK_WIDTH = banks.width
+            self.L2_BANK_OCCUPANCY = banks.occupancy
+        else:
+            self.bank_conflicts = bank_conflicts
         self._bank_busy_until = [float("-inf")] * self.L2_BANKS
         self.bank_conflict_count = 0
         #: optional :class:`repro.trace.events.TraceSink`; when set and

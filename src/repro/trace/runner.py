@@ -70,7 +70,7 @@ def trace_simulation(
         machine,
         layout,
         trip_counts,
-        memory=memory or MemorySystem(machine.timings),
+        memory=memory or machine.memory_system(),
         seed=seed,
         address_map=address_map,
         sink=sink,

@@ -1,0 +1,58 @@
+"""The ``--machine`` knob on the fuzzing campaign.
+
+The verdict cache key must separate machines (a verdict minted on
+itanium2 must never be replayed as an ldt-core verdict), the oracle
+version must be at the machine-aware generation, and a small campaign
+must come back clean on every registered backend.
+"""
+
+import pytest
+
+from repro.fuzz import FuzzOptions, GenConfig, run_fuzz
+from repro.fuzz.oracles import ORACLE_VERSION
+from repro.fuzz.runner import case_key
+from repro.machine import machine_names
+
+
+def test_oracle_version_is_machine_aware():
+    assert ORACLE_VERSION >= 3
+
+
+def test_case_key_separates_machines():
+    gen = GenConfig()
+    keys = {case_key(7, gen, "none", name) for name in machine_names()}
+    assert len(keys) == len(machine_names())
+    # the default spelling and the explicit default agree
+    assert case_key(7, gen, "none") == case_key(7, gen, "none", "itanium2")
+
+
+def test_case_key_still_covers_seed_and_inject():
+    gen = GenConfig()
+    assert case_key(1, gen, "none", "ldt-core") != \
+        case_key(2, gen, "none", "ldt-core")
+    assert case_key(1, gen, "none", "ldt-core") != \
+        case_key(1, gen, "drop-edge", "ldt-core")
+
+
+@pytest.mark.parametrize("machine_name", machine_names())
+def test_small_campaign_is_clean_on_every_machine(machine_name):
+    summary = run_fuzz(FuzzOptions(
+        cases=3, seed=100, machine=machine_name,
+        gen=GenConfig(max_ops=8),
+    ))
+    assert summary.ok, summary.failures
+
+
+def test_per_machine_verdicts_do_not_collide_in_the_cache(tmp_path):
+    cache = tmp_path / "verdicts"
+    first = run_fuzz(FuzzOptions(cases=2, seed=50, machine="itanium2",
+                                 cache_dir=cache, gen=GenConfig(max_ops=8)))
+    # same seeds, different machine: must recompute, not replay
+    second = run_fuzz(FuzzOptions(cases=2, seed=50, machine="slsq-core",
+                                  cache_dir=cache, gen=GenConfig(max_ops=8)))
+    assert first.cache_hits == 0
+    assert second.cache_hits == 0
+    # and the same machine replays from the cache
+    third = run_fuzz(FuzzOptions(cases=2, seed=50, machine="slsq-core",
+                                 cache_dir=cache, gen=GenConfig(max_ops=8)))
+    assert third.cache_hits == 2

@@ -38,6 +38,7 @@ def test_defaults_are_filled_and_stable():
         "pgo": True,
         "prefetch": True,
         "seed": 2008,
+        "machine": "itanium2",
         "verify": False,
         "trace": False,
         "backend": "",

@@ -1,0 +1,216 @@
+#!/usr/bin/env python
+"""Fig. 7/8 replayed on every registered machine model.
+
+The paper's headroom sweep (Fig. 7: all-loads-L3 hints over trip-count
+thresholds n ∈ {0, 8, 16, 32, 64}) and hint experiment (Fig. 8: fp-l2
+default and HLO-directed hints) both measure what *software* latency
+boosting buys on an in-order machine that stalls on use.  The question
+this bench answers: how much of that benefit survives on cores that
+tolerate load latency in *hardware* — ``ldt-core`` (load-delay
+tracking) and ``slsq-core`` (speculative load/store queue)?
+
+For each machine the full grid (baseline + five Fig. 7 columns + two
+Fig. 8 bars) runs through one :func:`repro.harness.run_suite` call per
+suite with ``verify=True``, so every cell passes the SA1xx-SA5xx
+checks and the static bounds.  The JSON report (``--out``, canonically
+``benchmarks/results/BENCH_machines_fig78.json``) records per-machine
+geomean gains, per-benchmark columns, the manifest fingerprints, and a
+``finding`` block comparing boosting's benefit across machines.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_machines_fig78.py \
+        --out benchmarks/results/BENCH_machines_fig78.json --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.config import CompilerConfig, HintPolicy, baseline_config
+from repro.harness import ArtifactCache, compare_configs, run_suite
+from repro.machine import build_machine, machine_names
+from repro.workloads import suite_by_name
+
+THRESHOLDS = (0, 8, 16, 32, 64)
+SUITES = ("cpu2000", "cpu2006")
+SEED = 2008
+
+
+def l3_cfg(n: int) -> CompilerConfig:
+    return CompilerConfig(
+        hint_policy=HintPolicy.ALL_LOADS_L3,
+        trip_count_threshold=n,
+        pgo=True,
+        prefetch=True,
+        name=f"all-l3-n{n}",
+    )
+
+
+def fp_l2_cfg() -> CompilerConfig:
+    return CompilerConfig(hint_policy=HintPolicy.ALL_FP_L2,
+                          trip_count_threshold=32, pgo=True, name="fp-l2")
+
+
+def hlo_cfg() -> CompilerConfig:
+    return CompilerConfig(hint_policy=HintPolicy.HLO,
+                          trip_count_threshold=32, pgo=True, name="hlo")
+
+
+def _column(result) -> dict:
+    return {
+        "geomean_gain_pct": round(result.geomean_gain, 4),
+        "gains_pct": {name: round(gain, 4)
+                      for name, gain in sorted(result.gains.items())},
+    }
+
+
+def run_machine_suite(machine, suite_name: str, cache, workers: int) -> dict:
+    """One grid run: baseline + Fig. 7 columns + Fig. 8 bars, verified."""
+    base = baseline_config()
+    fig7 = [l3_cfg(n) for n in THRESHOLDS]
+    fig8 = [fp_l2_cfg(), hlo_cfg()]
+    run = run_suite(
+        suite_by_name(suite_name),
+        [base] + fig7 + fig8,
+        machine=machine,
+        seed=SEED,
+        workers=workers,
+        cache=cache,
+        suite_name=suite_name,
+        verify=True,
+    )
+    manifest = run.manifest
+    if manifest.verify_errors or manifest.bounds_violations:
+        raise SystemExit(
+            f"{machine.name}/{suite_name}: verification failed "
+            f"({manifest.verify_errors} error(s), "
+            f"{manifest.bounds_violations} bounds violation(s))"
+        )
+    return {
+        "fingerprint": manifest.fingerprint(),
+        "verify": {
+            "cells": len(manifest.cells),
+            "verified_cells": manifest.verified_cells,
+            "errors": manifest.verify_errors,
+            "bounds_checked": manifest.bounds_checked,
+            "bounds_violations": manifest.bounds_violations,
+        },
+        "fig7": {
+            f"n={n}": _column(compare_configs(run, base.label, cfg.label))
+            for n, cfg in zip(THRESHOLDS, fig7)
+        },
+        "fig8": {
+            cfg.label: _column(compare_configs(run, base.label, cfg.label))
+            for cfg in fig8
+        },
+    }
+
+
+def _mean(values) -> float:
+    values = list(values)
+    return sum(values) / len(values)
+
+
+def finding(machines: dict) -> dict:
+    """Does boosting's benefit shrink on latency-tolerant cores?"""
+    fig7_peak = {
+        name: round(_mean(
+            max(suites[s]["fig7"][f"n={n}"]["geomean_gain_pct"]
+                for n in THRESHOLDS)
+            for s in SUITES
+        ), 4)
+        for name, suites in machines.items()
+    }
+    hlo = {
+        name: round(_mean(
+            suites[s]["fig8"]["hlo"]["geomean_gain_pct"] for s in SUITES
+        ), 4)
+        for name, suites in machines.items()
+    }
+    tolerant = [n for n in machines if n != "itanium2"]
+    shrinks = all(
+        fig7_peak[name] < fig7_peak["itanium2"]
+        and hlo[name] < hlo["itanium2"]
+        for name in tolerant
+    )
+    retained = {
+        name: {
+            "fig7_peak": round(fig7_peak[name] / fig7_peak["itanium2"], 4)
+            if fig7_peak["itanium2"] else None,
+            "hlo": round(hlo[name] / hlo["itanium2"], 4)
+            if hlo["itanium2"] else None,
+        }
+        for name in tolerant
+    }
+    return {
+        "fig7_peak_geomean_pct": fig7_peak,
+        "fig8_hlo_geomean_pct": hlo,
+        "benefit_shrinks_on_latency_tolerant_cores": shrinks,
+        "benefit_retained_vs_itanium2": retained,
+        "note": (
+            "geomeans averaged over cpu2000+cpu2006; 'retained' is the "
+            "machine's geomean gain divided by itanium2's, so values "
+            "below 1.0 mean hardware latency tolerance absorbed part of "
+            "the software boosting benefit"
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path,
+                        default=Path("benchmarks/results/"
+                                     "BENCH_machines_fig78.json"))
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="artifact cache shared across grids "
+                             "(optional; grids already share baselines "
+                             "internally)")
+    parser.add_argument("--machines", nargs="*", default=None,
+                        help="subset of registry names (default: all)")
+    args = parser.parse_args(argv)
+
+    names = args.machines or machine_names()
+    cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
+    machines: dict[str, dict] = {}
+    digests: dict[str, str] = {}
+    for name in names:
+        machine = build_machine(name)
+        digests[name] = machine.digest()
+        machines[name] = {}
+        for suite_name in SUITES:
+            print(f"[{name}] {suite_name} grid "
+                  f"({1 + len(THRESHOLDS) + 2} configs, verify on)...",
+                  flush=True)
+            machines[name][suite_name] = run_machine_suite(
+                machine, suite_name, cache, args.jobs)
+
+    report = {
+        "bench": "machines_fig78",
+        "seed": SEED,
+        "suites": list(SUITES),
+        "thresholds": list(THRESHOLDS),
+        "machine_digests": digests,
+        "machines": machines,
+    }
+    if "itanium2" in machines and len(machines) > 1:
+        report["finding"] = finding(machines)
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    if "finding" in report:
+        f = report["finding"]
+        print("fig7 peak geomean %:", f["fig7_peak_geomean_pct"])
+        print("fig8 hlo geomean %:", f["fig8_hlo_geomean_pct"])
+        print("benefit shrinks on latency-tolerant cores:",
+              f["benefit_shrinks_on_latency_tolerant_cores"])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
