@@ -17,6 +17,7 @@ from repro.analysis.diagnostics import (
 from repro.analysis.hintcheck import verify_hints
 from repro.analysis.irlint import lint_loop
 from repro.analysis.kernelverify import verify_kernel
+from repro.analysis.optimality import verify_optimality
 from repro.analysis.perfmodel import (
     SiteBound,
     StaticPerfModel,
@@ -41,6 +42,7 @@ __all__ = [
     "verify_schedule",
     "verify_kernel",
     "verify_hints",
+    "verify_optimality",
     "verify_result",
     "verify_compiled",
     "verification_status",

@@ -13,6 +13,8 @@ index/text).  Codes are grouped by subsystem:
 * ``SA5xx`` — static performance bounds and their post-simulation
   cross-checks (:mod:`repro.analysis.perfmodel`,
   :mod:`repro.analysis.pressure`)
+* ``SA6xx`` — exact-scheduler optimality certificates
+  (:mod:`repro.analysis.optimality`)
 
 The registry is the single source of truth consumed by the renderers, the
 documentation (``docs/analysis.md``) and the mutation tests, which provoke
@@ -132,6 +134,13 @@ CODES: dict[str, CodeInfo] = {
         _c("SA516", Severity.ERROR,
            "per-site attributed stall exceeds the static residual bound",
            "Sec. 3.1: per-load stall attribution"),
+        # --- SA6xx: scheduler optimality ----------------------------------
+        _c("SA601", Severity.ERROR,
+           "schedule claimed optimal but a lower II is schedulable",
+           "Roorda: exact modulo scheduling as ground truth"),
+        _c("SA602", Severity.ERROR,
+           "certified II lower bound inconsistent with the achieved II",
+           "Roorda: exact modulo scheduling as ground truth"),
     ]
 }
 

@@ -14,7 +14,10 @@ and the harness use.  It composes the four passes:
   loops — re-derived register pressure plus saturation/stall-exposure
   notes.  The post-simulation SA51x counter cross-checks live in
   :func:`repro.analysis.perfmodel.check_simulation` and run from the
-  harness after each cell simulates.
+  harness after each cell simulates;
+* :func:`repro.analysis.optimality.verify_optimality` (SA6xx) when the
+  result came from the exact scheduler — the optimality claim and the
+  certified lower bound are re-derived with an independent search.
 
 Loops the driver left sequential (low trip counts, scheduling failures)
 only get the IR lint — there is no schedule to validate.
@@ -26,6 +29,7 @@ from repro.analysis.diagnostics import DiagnosticReport
 from repro.analysis.hintcheck import verify_hints
 from repro.analysis.irlint import lint_loop
 from repro.analysis.kernelverify import verify_kernel
+from repro.analysis.optimality import verify_optimality
 from repro.analysis.perfmodel import build_perf_model
 from repro.analysis.pressure import verify_pressure
 from repro.analysis.schedverify import verify_schedule
@@ -46,6 +50,8 @@ def verify_result(result: PipelineResult) -> DiagnosticReport:
         report.extend(verify_pressure(result))
         model = build_perf_model(result, result.schedule.machine)
         report.extend(model.static_report())
+        if result.stats.scheduler == "optimal":
+            report.extend(verify_optimality(result))
     return report
 
 

@@ -110,15 +110,25 @@ def parse_space(text: str):
 
 
 def make_config(args: argparse.Namespace) -> CompilerConfig:
+    from repro.config import parse_scheduler
+
+    scheduler = parse_scheduler(getattr(args, "scheduler", None))
+    extra = {}
+    if scheduler != "heuristic":
+        extra["scheduler"] = scheduler
+    budget = getattr(args, "optimal_budget", None)
+    if budget is not None:
+        extra["optimal_budget"] = budget
     policy = HintPolicy(args.policy)
     if policy is HintPolicy.BASELINE:
         cfg = baseline_config(pgo=not args.no_pgo, prefetch=not args.no_prefetch)
-        return cfg.with_(trip_count_threshold=args.threshold)
+        return cfg.with_(trip_count_threshold=args.threshold, **extra)
     return CompilerConfig(
         hint_policy=policy,
         trip_count_threshold=args.threshold,
         pgo=not args.no_pgo,
         prefetch=not args.no_prefetch,
+        **extra,
     )
 
 
@@ -164,6 +174,24 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
                         help="use the static profile heuristic")
     parser.add_argument("--no-prefetch", action="store_true",
                         help="disable software prefetching")
+    _add_scheduler_args(parser)
+
+
+def _add_scheduler_args(parser: argparse.ArgumentParser) -> None:
+    from repro.config import SCHEDULERS
+
+    parser.add_argument(
+        "--scheduler",
+        choices=list(SCHEDULERS),
+        default="heuristic",
+        help="modulo scheduler: the paper's iterative heuristic or the "
+             "exact branch-and-bound solver (default: heuristic)",
+    )
+    parser.add_argument(
+        "--optimal-budget", type=int, default=None, metavar="NODES",
+        help="node budget per loop for the exact scheduler "
+             "(deterministic time cap; default: 200000)",
+    )
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
@@ -425,6 +453,14 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         return 2
     base = baseline_config(pgo=not args.no_pgo, prefetch=not args.no_prefetch)
     variant = make_config(args)
+    if variant.scheduler != "heuristic":
+        # the scheduler knob applies to both columns so the experiment
+        # still isolates the hint policy
+        base = base.with_(
+            scheduler=variant.scheduler,
+            optimal_budget=variant.optimal_budget,
+            name=f"{base.name},{variant.scheduler}",
+        )
     run = run_suite(
         suite,
         [base, variant],
@@ -480,7 +516,22 @@ def _report_manifest_verification(manifest, args: argparse.Namespace) -> int:
 
 def _bench_configs(args: argparse.Namespace) -> tuple[CompilerConfig, list]:
     """The baseline plus one variant config per requested policy."""
+    from repro.config import parse_scheduler
+
+    scheduler = parse_scheduler(getattr(args, "scheduler", None))
+    extra = {}
+    if scheduler != "heuristic":
+        extra["scheduler"] = scheduler
+    budget = getattr(args, "optimal_budget", None)
+    if budget is not None:
+        extra["optimal_budget"] = budget
     base = baseline_config(pgo=not args.no_pgo, prefetch=not args.no_prefetch)
+    if extra:
+        # the scheduler knob applies to every column, baseline included,
+        # so bench comparisons isolate the hint policy as usual
+        base = base.with_(**extra)
+        if scheduler != "heuristic":
+            base = base.with_(name=f"{base.name},{scheduler}")
     variants = []
     for policy_name in args.config or ["hlo"]:
         policy = HintPolicy(policy_name)
@@ -491,6 +542,7 @@ def _bench_configs(args: argparse.Namespace) -> tuple[CompilerConfig, list]:
             trip_count_threshold=args.threshold,
             pgo=not args.no_pgo,
             prefetch=not args.no_prefetch,
+            **extra,
         ))
     return base, variants
 
@@ -942,6 +994,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="use the static profile heuristic")
     p_bench.add_argument("--no-prefetch", action="store_true",
                          help="disable software prefetching")
+    _add_scheduler_args(p_bench)
     p_bench.add_argument("--jobs", type=int, default=None, metavar="N",
                          help="worker processes (default: CPU count, max 8)")
     p_bench.add_argument(

@@ -76,7 +76,12 @@ class LoopCompiler:
             # counted loops pipeline with br.ctop; while loops with
             # br.wtop and speculative fill (the mcf refresh_potential
             # loop of Sec. 4.4 is a while loop)
-            result = pipeline_loop(work, self.machine, self.config)
+            if self.config.scheduler == "optimal":
+                from repro.pipeliner.optimal import optimal_pipeline_loop
+
+                result = optimal_pipeline_loop(work, self.machine, self.config)
+            else:
+                result = pipeline_loop(work, self.machine, self.config)
         else:
             # too few iterations: the acyclic global scheduler handles it
             result = self._unpipelined(work)

@@ -22,6 +22,7 @@ regression corpus as replayable ``.loop`` files (the dialect of
 by the tier-1 suite.  ``python -m repro fuzz`` is the CLI entry point.
 """
 
+from repro.fuzz.gapharvest import gap_info, harvest_case, is_hard
 from repro.fuzz.gen import GenConfig, generate_loop, loop_fingerprint
 from repro.fuzz.oracles import (
     ORACLE_VERSION,
@@ -39,6 +40,9 @@ from repro.fuzz.runner import (
 from repro.fuzz.shrink import shrink_loop
 
 __all__ = [
+    "gap_info",
+    "harvest_case",
+    "is_hard",
     "GenConfig",
     "generate_loop",
     "loop_fingerprint",

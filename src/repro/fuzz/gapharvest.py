@@ -1,0 +1,147 @@
+"""Harvest hard scheduling instances into the regression corpus.
+
+The gap campaign (:mod:`repro.harness.gap`) occasionally surfaces
+fuzz-generated loops where the exact scheduler matters: the heuristic's
+II is more than one cycle above optimal, or the branch-and-bound solver
+exhausts its node budget before proving anything (a *hard instance*).
+Those loops are exactly what the persistent corpus should pin — they
+are the regression tests for future scheduler work, and re-measuring
+them is how a change to the heuristic shows whether it closed the gap.
+
+Harvesting mirrors the fuzzer's failure path (:mod:`repro.fuzz.runner`)
+but with a *predicate* instead of a failing oracle: the loop is greedily
+shrunk through the same candidate edits and textual round-trip as
+:func:`repro.fuzz.shrink.shrink_loop`, keeping a smaller variant only
+while the gap (or cap) survives, then saved as ``og-<seed>.loop`` plus a
+JSON manifest recording both IIs, the solver verdict and the node
+budget.  Manifests deliberately omit the generator ``gen`` block: the
+shrunk loop no longer regenerates from its seed, and the corpus replay
+test keys regeneration on that field's presence.
+
+Harvested entries must replay clean through the full oracle stack
+(tier-1 replays the corpus with zero expected violations), so a
+candidate that fails any oracle after shrinking is discarded rather
+than committed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.fuzz.oracles import ORACLE_VERSION, check_loop
+from repro.fuzz.shrink import _candidates, _normalise, _size
+from repro.harness.gap import measure_loop
+from repro.ir.loop import Loop
+from repro.ir.printer import loop_to_source
+
+#: an II gap strictly above this many cycles is worth pinning
+GAP_THRESHOLD = 1
+
+
+def gap_info(loop: Loop, machine, budget: int) -> dict:
+    """Both schedulers' verdicts on ``loop`` (a thin measure wrapper)."""
+    record = measure_loop(loop, machine, budget)
+    return {
+        "heuristic_ii": record["heuristic"]["ii"],
+        "optimal_ii": record["optimal"]["ii"],
+        "pipelined": bool(record["gaps"] is not None),
+        "ii_gap": record["gaps"]["ii"] if record["gaps"] else 0,
+        "optimal_status": record["optimal"].get("status"),
+        "solver_nodes": record["optimal"].get("nodes", 0),
+    }
+
+
+def is_hard(info: dict, threshold: int = GAP_THRESHOLD) -> bool:
+    """The harvest predicate: real gap or budget-capped solve."""
+    if info["pipelined"] and info["ii_gap"] > threshold:
+        return True
+    return info["optimal_status"] == "capped"
+
+
+def shrink_hard_case(
+    loop: Loop, machine, budget: int, *,
+    threshold: int = GAP_THRESHOLD, max_rounds: int = 25,
+) -> tuple[Loop, dict]:
+    """Greedy predicate-preserving reduction (cf. ``shrink_loop``)."""
+    current = _normalise(loop) or loop
+    info = gap_info(current, machine, budget)
+    if not is_hard(info, threshold):
+        return current, info
+    for _ in range(max_rounds):
+        improved = False
+        for raw in _candidates(current):
+            cand = _normalise(raw)
+            if cand is None or _size(cand) >= _size(current):
+                continue
+            cand_info = gap_info(cand, machine, budget)
+            if is_hard(cand_info, threshold):
+                current, info = cand, cand_info
+                improved = True
+                break
+        if not improved:
+            break
+    return current, info
+
+
+def harvest_case(
+    loop: Loop, machine, budget: int, corpus_dir: str | Path, *,
+    seed: int, threshold: int = GAP_THRESHOLD, shrink: bool = True,
+) -> list[str]:
+    """Shrink and persist one hard instance; returns the files written.
+
+    Returns ``[]`` when the loop is not hard under ``threshold``/
+    ``budget``, or when no (shrunk or original) variant replays clean
+    through the oracle stack — the corpus only takes entries tier-1 can
+    hold at zero violations.
+    """
+    info = gap_info(loop, machine, budget)
+    if not is_hard(info, threshold):
+        return []
+    if shrink:
+        reduced, reduced_info = shrink_hard_case(
+            loop, machine, budget, threshold=threshold
+        )
+    else:
+        reduced, reduced_info = loop, info
+    # the corpus contract: every entry replays with zero violations
+    for candidate, cand_info in ((reduced, reduced_info), (loop, info)):
+        if check_loop(candidate, machine=machine).ok:
+            return _save(candidate, cand_info, machine, budget,
+                         Path(corpus_dir), seed=seed)
+    return []
+
+
+def _save(loop: Loop, info: dict, machine, budget: int,
+          corpus_dir: Path, *, seed: int) -> list[str]:
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"og-{seed}"
+    loop_path = corpus_dir / f"{stem}.loop"
+    loop_path.write_text(loop_to_source(loop), encoding="utf-8")
+    # no "gen" block: the shrunk loop does not regenerate from its seed
+    manifest = {
+        "seed": seed,
+        "oracle_version": ORACLE_VERSION,
+        "inject": "none",
+        "machine": machine.name,
+        "ops": len(loop.body),
+        "gap": {
+            "heuristic_ii": info["heuristic_ii"],
+            "optimal_ii": info["optimal_ii"],
+            "ii_gap": info["ii_gap"],
+            "optimal_status": info["optimal_status"],
+            "budget": budget,
+        },
+        "report": {
+            "name": loop.name,
+            "ok": True,
+            "seed": seed,
+            "violations": [],
+        },
+    }
+    json_path = corpus_dir / f"{stem}.json"
+    json_path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return [str(loop_path), str(json_path)]

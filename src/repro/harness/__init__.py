@@ -20,6 +20,7 @@ Typical use::
 """
 
 from repro.harness.cache import ArtifactCache, CacheStats, hash_key
+from repro.harness.gap import measure_loop, run_gap_campaign
 from repro.harness.jobs import (
     BenchmarkJob,
     JobOutcome,
@@ -49,6 +50,8 @@ __all__ = [
     "ArtifactCache",
     "CacheStats",
     "hash_key",
+    "measure_loop",
+    "run_gap_campaign",
     "BenchmarkJob",
     "JobOutcome",
     "collect_profile",

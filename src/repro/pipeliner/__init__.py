@@ -22,6 +22,12 @@ from repro.pipeliner.scheduler import modulo_schedule
 from repro.pipeliner.kernel import Kernel, generate_kernel
 from repro.pipeliner.stats import PipelineStats
 from repro.pipeliner.driver import PipelineResult, pipeline_loop
+from repro.pipeliner.optimal import (
+    SolveOutcome,
+    SolveStatus,
+    optimal_pipeline_loop,
+    solve_ii,
+)
 
 __all__ = [
     "IIBounds",
@@ -37,4 +43,8 @@ __all__ = [
     "PipelineStats",
     "PipelineResult",
     "pipeline_loop",
+    "SolveOutcome",
+    "SolveStatus",
+    "optimal_pipeline_loop",
+    "solve_ii",
 ]

@@ -59,17 +59,19 @@ class PipelineResult:
         return self.stats.ii
 
 
-def pipeline_loop(
+def resolve_criticality(
     loop: Loop,
+    ddg: DDG,
     machine: ItaniumMachine,
-    config: CompilerConfig | None = None,
-) -> PipelineResult:
-    """Software-pipeline ``loop`` under ``config`` (Sec. 3.3 flow)."""
-    config = config or CompilerConfig()
-    ddg = build_ddg(loop)
-    bounds = compute_bounds(ddg, machine)
-    seq_length = list_schedule_length(ddg, machine)
+    bounds: IIBounds,
+    config: CompilerConfig,
+) -> Criticality:
+    """The latency policy after every driver gate has been applied.
 
+    Shared by the heuristic driver and the exact one
+    (:func:`repro.pipeliner.optimal.optimal_pipeline_loop`) so that
+    heuristic-vs-optimal gaps measure the scheduler and nothing else.
+    """
     criticality = classify_loads(
         ddg, machine, bounds, threshold=config.criticality_threshold
     )
@@ -93,6 +95,21 @@ def pipeline_loop(
         trips = loop.average_trips(config.default_trip_estimate)
         if trips < config.trip_count_threshold:
             criticality = criticality.demote_policy_hints()
+    return criticality
+
+
+def pipeline_loop(
+    loop: Loop,
+    machine: ItaniumMachine,
+    config: CompilerConfig | None = None,
+) -> PipelineResult:
+    """Software-pipeline ``loop`` under ``config`` (Sec. 3.3 flow)."""
+    config = config or CompilerConfig()
+    ddg = build_ddg(loop)
+    bounds = compute_bounds(ddg, machine)
+    seq_length = list_schedule_length(ddg, machine)
+
+    criticality = resolve_criticality(loop, ddg, machine, bounds, config)
 
     # pipelining is pointless once the II reaches the sequential length
     max_ii = max(bounds.min_ii, seq_length)

@@ -32,6 +32,17 @@ class PipelineStats:
     spills: int = 0
     stacked_frame: int = 0
     placements: list[LoadPlacement] = field(default_factory=list)
+    #: which scheduler produced this result ("heuristic" or "optimal")
+    scheduler: str = "heuristic"
+    #: exact-scheduler verdict: "optimal" (achieved II equals the
+    #: certified lower bound), "capped" (node budget left a gap) or
+    #: "infeasible" (no II up to the profitability cap schedules);
+    #: ``None`` for heuristic results
+    optimal_status: str | None = None
+    #: certified lower bound on any schedulable II (exact scheduler only)
+    ii_lower_bound: int | None = None
+    #: branch-and-bound nodes spent across all IIs (exact scheduler only)
+    solver_nodes: int = 0
 
     @property
     def extra_stages_cost(self) -> int:

@@ -24,17 +24,21 @@ from repro.errors import ServiceError
 
 
 def _build_config(canonical: dict) -> CompilerConfig:
+    scheduler = canonical.get("scheduler", "heuristic")
     policy = HintPolicy(canonical["policy"])
     if policy is HintPolicy.BASELINE:
         config = baseline_config(
             pgo=canonical["pgo"], prefetch=canonical["prefetch"]
         )
-        return config.with_(trip_count_threshold=canonical["threshold"])
+        return config.with_(
+            trip_count_threshold=canonical["threshold"], scheduler=scheduler
+        )
     return CompilerConfig(
         hint_policy=policy,
         trip_count_threshold=canonical["threshold"],
         pgo=canonical["pgo"],
         prefetch=canonical["prefetch"],
+        scheduler=scheduler,
     )
 
 
@@ -187,15 +191,22 @@ def _run_bench(canonical: dict, cache_root: str | None) -> dict:
                 f"{', '.join(sorted(missing))}",
                 status=400,
             )
+    scheduler = canonical.get("scheduler", "heuristic")
     base = baseline_config(
         pgo=canonical["pgo"], prefetch=canonical["prefetch"]
     )
+    if scheduler != "heuristic":
+        # the scheduler applies to every column, baseline included
+        base = base.with_(
+            scheduler=scheduler, name=f"{base.name},{scheduler}"
+        )
     variants = [
         CompilerConfig(
             hint_policy=HintPolicy(policy),
             trip_count_threshold=canonical["threshold"],
             pgo=canonical["pgo"],
             prefetch=canonical["prefetch"],
+            scheduler=scheduler,
         )
         for policy in canonical["configs"]
         if HintPolicy(policy) is not HintPolicy.BASELINE

@@ -23,14 +23,14 @@ service can serve repeated traffic without touching a worker.
 
 from __future__ import annotations
 
-from repro.config import HintPolicy
+from repro.config import SCHEDULERS, HintPolicy
 from repro.errors import ServiceError
 from repro.harness.cache import hash_key
 from repro.machine import machine_names
 
 #: bump when the request schema or result payloads change incompatibly
 #: (part of every request key, so stale stored results become misses)
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 JOB_KINDS = ("compile", "simulate", "trace", "fuzz", "bench")
 SUITES = ("cpu2006", "cpu2000", "micro")
@@ -138,10 +138,14 @@ def _config_fields(payload: dict) -> dict:
         "threshold": _int(payload, "threshold", 32, lo=0, hi=1_000_000),
         "pgo": _bool(payload, "pgo", True),
         "prefetch": _bool(payload, "prefetch", True),
+        # result-determining: the exact scheduler can produce different
+        # schedules (and optimality metadata) than the heuristic, so the
+        # scheduler stays in the canonical form and the request key
+        "scheduler": _choice(payload, "scheduler", "heuristic", SCHEDULERS),
     }
 
 
-_CONFIG_KEYS = {"policy", "threshold", "pgo", "prefetch"}
+_CONFIG_KEYS = {"policy", "threshold", "pgo", "prefetch", "scheduler"}
 
 
 def _machine(payload: dict) -> str:
@@ -247,6 +251,7 @@ def _normalize_bench(payload: dict) -> dict:
         "threshold": _int(payload, "threshold", 32, lo=0, hi=1_000_000),
         "pgo": _bool(payload, "pgo", True),
         "prefetch": _bool(payload, "prefetch", True),
+        "scheduler": _choice(payload, "scheduler", "heuristic", SCHEDULERS),
         "seed": _int(payload, "seed", 2008, lo=0, hi=2**31 - 1),
         "machine": _machine(payload),
         "verify": _bool(payload, "verify", False),

@@ -22,7 +22,7 @@ def make_inst():
 class TestRegistry:
     def test_every_subsystem_is_covered(self):
         prefixes = {code[:3] for code in CODES}
-        assert prefixes == {"SA1", "SA2", "SA3", "SA4", "SA5"}
+        assert prefixes == {"SA1", "SA2", "SA3", "SA4", "SA5", "SA6"}
 
     def test_codes_are_well_formed(self):
         for code, info in CODES.items():

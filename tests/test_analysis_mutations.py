@@ -21,6 +21,7 @@ from repro.analysis import (
     lint_loop,
     verify_hints,
     verify_kernel,
+    verify_optimality,
     verify_result,
     verify_schedule,
 )
@@ -326,3 +327,42 @@ class TestHintMutations:
         report = verify_hints(schedule)
         assert report.has("SA404")
         assert report.ok  # notes never fail verification
+
+
+@pytest.fixture
+def exact():
+    """copy_add under the exact scheduler: proven optimal, full stats."""
+    result = compile_text(COPY_ADD, CompilerConfig(scheduler="optimal"))
+    assert result.pipelined and result.stats.scheduler == "optimal"
+    assert result.stats.optimal_status == "optimal"
+    return result
+
+
+class TestOptimalityMutations:
+    """SA6xx: forge the exact scheduler's certificate, one field per code."""
+
+    def test_exact_compile_is_clean(self, exact):
+        report = verify_result(exact)
+        assert not report.errors, report.render_text()
+
+    def test_sa601_claimed_optimal_above_a_schedulable_ii(self, exact):
+        # pretend the driver settled one II higher while still claiming
+        # optimality: the independent re-solve at achieved-1 (the true
+        # optimum) produces a witness schedule and refutes the claim
+        exact.stats.ii += 1
+        exact.stats.ii_lower_bound = exact.stats.ii  # keep SA602 silent
+        report = verify_optimality(exact)
+        assert report.has("SA601")
+        assert not report.has("SA602")
+
+    def test_sa602_bound_above_achieved_ii(self, exact):
+        exact.stats.ii_lower_bound = exact.stats.ii + 1
+        report = verify_optimality(exact)
+        assert report.has("SA602")
+
+    def test_sa602_optimal_claim_with_missing_bound(self, exact):
+        exact.stats.ii_lower_bound = None
+        assert verify_optimality(exact).has("SA602")
+
+    def test_heuristic_results_are_exempt(self, baseline):
+        assert len(verify_optimality(baseline)) == 0

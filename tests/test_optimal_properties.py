@@ -1,0 +1,106 @@
+"""Property-based tests for the exact scheduler's solver core.
+
+Three invariants that must hold for *any* loop the generator produces:
+
+* the exact driver's II is bracketed by theory and practice:
+  ``min_ii <= optimal_ii <= heuristic_ii`` (the upper bound is
+  structural — the driver falls back to the heuristic schedule at the
+  same II whenever the search comes up empty);
+* the exact II is monotone under latency growth: uniformly increasing
+  every latency can never admit a *smaller* II (constraints only
+  tighten);
+* the exact II is invariant under reordering independent operations in
+  the source loop: swapping an adjacent pair with no dependence between
+  them presents the same scheduling problem.
+"""
+
+from hypothesis import given, settings
+
+from repro.config import CompilerConfig
+from repro.ddg.graph import build_ddg
+from repro.ir import parse_loop
+from repro.ir.printer import loop_to_source
+from repro.machine import ItaniumMachine
+from repro.pipeliner import (
+    SolveStatus,
+    optimal_pipeline_loop,
+    pipeline_loop,
+    solve_ii,
+)
+
+from tests.test_properties import pipelinable_loops
+
+CFG = CompilerConfig(trip_count_threshold=0, prefetch=False)
+MACHINE = ItaniumMachine()
+
+
+def base_expected(edge):
+    return False
+
+
+def exact_ii(ddg, query, cap=96):
+    """Smallest feasible II under ``query`` at base expectations.
+
+    The generous budget keeps every per-II verdict a proof, so the scan
+    is exact; ``None`` when nothing up to ``cap`` is schedulable."""
+    for ii in range(1, cap + 1):
+        outcome = solve_ii(
+            ddg, ii, query, base_expected, MACHINE.resources, 500_000
+        )
+        if outcome.status is SolveStatus.FEASIBLE:
+            return ii
+        assert outcome.status is SolveStatus.INFEASIBLE
+    return None
+
+
+class TestSolverProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(pipelinable_loops())
+    def test_optimal_ii_is_bracketed(self, loop):
+        heur = pipeline_loop(loop, MACHINE, CFG)
+        opt = optimal_pipeline_loop(loop, MACHINE, CFG)
+        if not heur.pipelined:
+            return
+        assert opt.pipelined
+        assert opt.bounds.min_ii <= opt.stats.ii <= heur.stats.ii
+        if opt.stats.optimal_status == "optimal":
+            assert opt.stats.ii_lower_bound == opt.stats.ii
+
+    @settings(max_examples=25, deadline=None)
+    @given(pipelinable_loops())
+    def test_exact_ii_monotone_in_latency(self, loop):
+        ddg = build_ddg(loop)
+        base_query = MACHINE.latency_query
+        previous = exact_ii(ddg, base_query)
+        if previous is None:
+            return
+        for bump in (1, 3):
+            def boosted(inst, reg, expected, _bump=bump):
+                return base_query(inst, reg, expected) + _bump
+
+            current = exact_ii(ddg, boosted)
+            assert current is not None and current >= previous
+            previous = current
+
+    @settings(max_examples=25, deadline=None)
+    @given(pipelinable_loops())
+    def test_exact_ii_invariant_under_reordering(self, loop):
+        ddg = build_ddg(loop)
+        baseline = exact_ii(ddg, MACHINE.latency_query)
+        body = loop.body
+        for i in range(len(body) - 1):
+            a, b = body[i], body[i + 1]
+            if a.memref is not None and b.memref is not None:
+                continue  # memory order may be semantically load-bearing
+            if any(
+                {edge.src, edge.dst} == {a, b} for edge in ddg.edges
+            ):
+                continue  # dependent pair: not a legal reordering
+            swapped = parse_loop(loop_to_source(loop))
+            swapped.body[i], swapped.body[i + 1] = (
+                swapped.body[i + 1], swapped.body[i],
+            )
+            reordered = parse_loop(loop_to_source(swapped))
+            assert exact_ii(
+                build_ddg(reordered), MACHINE.latency_query
+            ) == baseline
